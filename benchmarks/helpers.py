@@ -1,0 +1,72 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The solver
+runs are executed exactly once per benchmark (``benchmark.pedantic`` with a
+single round); the interesting output is not the wall-clock time but the
+schedule costs, which are printed, written to ``benchmarks/results/`` and
+attached to the benchmark's ``extra_info``.
+
+Environment knobs:
+
+* ``REPRO_ILP_TIME_LIMIT``  — seconds per ILP solve (default set per bench),
+* ``REPRO_BENCH_SCALE``     — ``default`` (reduced sizes) or ``paper``,
+* ``REPRO_BENCH_LIMIT``     — only run the first N instances of a dataset.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.reporting import format_results_table, write_csv
+from repro.experiments.runner import InstanceResult, geometric_mean
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def env_time_limit(default: float) -> float:
+    """Per-solve time limit, overridable through REPRO_ILP_TIME_LIMIT."""
+    try:
+        return float(os.environ.get("REPRO_ILP_TIME_LIMIT", default))
+    except (TypeError, ValueError):
+        return default
+
+
+def env_limit(default: Optional[int]) -> Optional[int]:
+    """Instance-count limit, overridable through REPRO_BENCH_LIMIT."""
+    value = os.environ.get("REPRO_BENCH_LIMIT")
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        return default
+
+
+def record_results(
+    name: str,
+    results: Sequence[InstanceResult],
+    benchmark=None,
+    title: str = "",
+    paper_reference: Optional[Dict[str, tuple]] = None,
+) -> None:
+    """Print, persist, and attach one experiment's results."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    table = format_results_table(results, title=title or name, paper_reference=paper_reference)
+    print("\n" + table + "\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    write_csv(results, RESULTS_DIR / f"{name}.csv")
+    if benchmark is not None:
+        benchmark.extra_info["geomean_ratio"] = geometric_mean([r.ratio for r in results])
+        benchmark.extra_info["instances"] = len(results)
+
+
+def record_text(name: str, text: str, benchmark=None, **extra) -> None:
+    """Persist free-form benchmark output (figures, summaries)."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    print("\n" + text + "\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if benchmark is not None:
+        for key, value in extra.items():
+            benchmark.extra_info[key] = value

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Divide-and-conquer ILP scheduling of a larger DAG (Section 6.3).
+
+The full ILP formulation stops being tractable beyond a few dozen nodes, so
+the paper splits larger DAGs into loosely coupled parts with an ILP-based
+acyclic partitioner, schedules each part with the full ILP, and concatenates
+the sub-schedules.  This example runs that pipeline on a block PageRank
+workload (one of the instance families where the method shines) and prints
+the partition, the per-part diagnostics, and the comparison against the
+two-stage baseline.
+
+Run with:  python examples/divide_and_conquer_large_dag.py
+(Set REPRO_ILP_TIME_LIMIT to give the sub-problem ILPs more or less time.)
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core import MbspIlpConfig, baseline_schedule
+from repro.core.acyclic_partition import PartitionConfig
+from repro.core.divide_conquer import DivideAndConquerScheduler
+from repro.dag.analysis import assign_random_memory_weights
+from repro.dag.generators import simple_pagerank
+from repro.ilp import SolverOptions
+from repro.model import make_instance, validate_schedule
+
+
+def main() -> None:
+    time_limit = float(os.environ.get("REPRO_ILP_TIME_LIMIT", 8.0))
+
+    dag = simple_pagerank(num_blocks=4, iterations=5, seed=1)
+    assign_random_memory_weights(dag, low=1, high=5, seed=17)
+    instance = make_instance(dag, num_processors=4, cache_factor=5.0, g=1.0, L=10.0)
+    print(f"workload: {dag.name} with {dag.num_nodes} nodes and {dag.num_edges} edges")
+    print(f"machine:  P = 4, r = 5*r0 = {instance.cache_size:.0f}, g = 1, L = 10\n")
+
+    base = baseline_schedule(instance)
+    print(f"two-stage baseline cost: {base.cost:.1f}")
+
+    scheduler = DivideAndConquerScheduler(
+        ilp_config=MbspIlpConfig(solver_options=SolverOptions(time_limit=time_limit)),
+        partition_config=PartitionConfig(max_part_size=22),
+    )
+    result = scheduler.schedule(instance, baseline=base)
+    validate_schedule(result.dac_schedule, require_all_computed=False)
+
+    print(f"acyclic partition: {result.partition.num_parts} parts, "
+          f"sizes {result.partition.part_sizes()}")
+    print("\nper-part diagnostics:")
+    for sub in result.subproblems:
+        source = "ILP" if sub.used_ilp else "two-stage"
+        ilp_cost = "-" if sub.ilp_cost is None else f"{sub.ilp_cost:.1f}"
+        print(f"  part {sub.part:>2d}: {sub.num_nodes:>3d} nodes on processors "
+              f"{sub.processors}  baseline={sub.baseline_cost:8.1f}  "
+              f"ilp={ilp_cost:>8s}  used={source}")
+
+    print(f"\ndivide-and-conquer cost: {result.dac_cost:.1f} "
+          f"({result.improvement_ratio:.2f}x of the baseline)")
+    if result.dac_cost > base.cost:
+        print("the concatenated schedule lost to the baseline here — the paper")
+        print("observes the same on DAGs that do not split into loosely")
+        print("coupled parts (Table 2, right column).")
+    else:
+        print("the partition-based ILP beat the two-stage baseline, as the")
+        print("paper observes for partition-friendly workloads (Table 2, left).")
+
+
+if __name__ == "__main__":
+    main()

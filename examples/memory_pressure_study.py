@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Memory-pressure study: how the cache size shapes schedule cost.
+
+The paper's Table 4 varies the fast-memory capacity between the bare minimum
+``r = r0`` and a generous ``r = 5 * r0``.  This example sweeps the cache
+factor on one iterated-SpMV workload and reports, for the two-stage baseline
+and for both eviction policies, how the I/O volume, the superstep count and
+the synchronous cost respond — the executable version of the paper's
+observation that a tight memory bound leaves the scheduler almost no freedom.
+
+Run with:  python examples/memory_pressure_study.py
+"""
+
+from __future__ import annotations
+
+from repro.bsp import greedy_bsp_schedule
+from repro.cache import ClairvoyantPolicy, LruPolicy, two_stage_schedule
+from repro.dag.analysis import assign_random_memory_weights, minimum_cache_size
+from repro.dag.generators import iterated_spmv
+from repro.model import make_instance, synchronous_cost, validate_schedule
+
+
+def main() -> None:
+    dag = iterated_spmv(n=4, iterations=3, seed=3)
+    assign_random_memory_weights(dag, low=1, high=5, seed=9)
+    r0 = minimum_cache_size(dag)
+    print(f"workload: {dag.name} with {dag.num_nodes} nodes, r0 = {r0:.0f}\n")
+
+    bsp = greedy_bsp_schedule(dag, num_processors=4)
+    header = (f"{'r / r0':>7s} {'policy':>12s} {'supersteps':>11s} "
+              f"{'I/O volume':>11s} {'sync cost':>10s}")
+    print(header)
+    print("-" * len(header))
+
+    for factor in (1.0, 1.5, 2.0, 3.0, 5.0, 10.0):
+        instance = make_instance(dag, num_processors=4, cache_factor=factor, g=1.0, L=10.0)
+        for policy in (ClairvoyantPolicy(), LruPolicy()):
+            schedule = two_stage_schedule(bsp, instance, policy)
+            validate_schedule(schedule)
+            print(
+                f"{factor:>7.1f} {policy.name:>12s} "
+                f"{schedule.num_supersteps:>11d} "
+                f"{schedule.total_io_volume():>11.0f} "
+                f"{synchronous_cost(schedule):>10.1f}"
+            )
+        print()
+
+    print("Observations (cf. paper Section 7.2):")
+    print(" * at r = r0 the schedule is forced into many tiny supersteps and a")
+    print("   large I/O volume — there is almost no freedom left to optimise;")
+    print(" * the clairvoyant policy never does more I/O than LRU;")
+    print(" * beyond a few multiples of r0 the extra cache stops helping.")
+
+
+if __name__ == "__main__":
+    main()

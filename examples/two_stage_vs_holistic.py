@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The Theorem 4.1 story: why two-stage scheduling can be far from optimal.
+
+The paper's Figure 1/2 construction has two groups of source values and two
+dependency chains that alternate between the groups.  A memory-oblivious BSP
+scheduler happily assigns one chain per processor (no communication!), but
+with a cache that can hold only one group, the memory-management stage must
+then reload a whole group for almost every chain node.  Assigning the chains
+*across* the processors — the memory-aware choice — exchanges a single value
+per step instead.
+
+This example builds the construction for growing sizes, evaluates both
+schedules with the exact cost functions, and prints the widening gap.
+
+Run with:  python examples/two_stage_vs_holistic.py
+"""
+
+from __future__ import annotations
+
+from repro.cache import ClairvoyantPolicy, two_stage_schedule
+from repro.model import synchronous_cost, validate_schedule
+from repro.theory import (
+    chain_per_processor_bsp_schedule,
+    optimal_gap_schedule,
+    two_stage_gap_construction,
+)
+
+
+def main() -> None:
+    print("Theorem 4.1: the two-stage approach vs. the memory-aware optimum\n")
+    header = (f"{'d':>4s} {'m':>4s} {'nodes':>6s} {'two-stage cost':>15s} "
+              f"{'optimal cost':>13s} {'ratio':>7s}")
+    print(header)
+    print("-" * len(header))
+
+    for d in (3, 5, 8, 12, 16):
+        m = 2 * d
+        construction = two_stage_gap_construction(d=d, m=m)
+        instance = construction.instance(g=1.0, L=0.0)
+
+        # stage 1: the BSP-optimal assignment (one chain per processor),
+        # stage 2: the optimal offline eviction policy — still bad together.
+        bsp = chain_per_processor_bsp_schedule(construction)
+        two_stage = two_stage_schedule(bsp, instance, ClairvoyantPolicy())
+        validate_schedule(two_stage)
+
+        # the memory-aware schedule of Figure 2 (right): children of each
+        # source group stay on one processor, one value exchanged per step.
+        optimal = optimal_gap_schedule(construction)
+        validate_schedule(optimal)
+
+        cost_two_stage = synchronous_cost(two_stage)
+        cost_optimal = synchronous_cost(optimal)
+        print(
+            f"{d:>4d} {m:>4d} {construction.dag.num_nodes:>6d} "
+            f"{cost_two_stage:>15.1f} {cost_optimal:>13.1f} "
+            f"{cost_two_stage / cost_optimal:>7.2f}"
+        )
+
+    print("\nThe ratio keeps growing with d (it is Theta(n) in the limit):")
+    print("optimising the parallel schedule and the memory management")
+    print("separately — even optimally — cannot fix a placement that ignores")
+    print("the memory constraint.  This is exactly why the paper's holistic")
+    print("ILP treats both problems at once.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — MBSP scheduling: multiprocessor DAG scheduling with memory constraints.
+
+A from-scratch Python reproduction of
+
+    Papp, Böhnlein, Yzelman:
+    "Multiprocessor Scheduling with Memory Constraints:
+     Fundamental Properties and Finding Optimal Solutions", ICPP 2025.
+
+The package provides the MBSP model (red-blue pebbling with supersteps),
+two-stage baselines (BSP schedulers + cache-eviction policies), the holistic
+ILP-based scheduler, the divide-and-conquer ILP for larger DAGs, the paper's
+theoretical gadget constructions, and an experiment harness regenerating
+every table and figure of the paper's evaluation.
+
+Quick start
+-----------
+>>> from repro.dag.generators import spmv
+>>> from repro.dag.analysis import assign_random_memory_weights
+>>> from repro.model import make_instance, synchronous_cost
+>>> from repro.core import schedule_mbsp
+>>> dag = assign_random_memory_weights(spmv(4), seed=1)
+>>> instance = make_instance(dag, num_processors=2, cache_factor=3.0, g=1, L=10)
+>>> schedule = schedule_mbsp(instance, method="baseline")
+>>> synchronous_cost(schedule) > 0
+True
+"""
+
+__version__ = "1.0.0"
+
+from repro.dag.graph import ComputationalDag
+from repro.model.architecture import MbspArchitecture
+from repro.model.instance import MbspInstance, make_instance
+from repro.model.schedule import MbspSchedule
+from repro.model.cost import asynchronous_cost, synchronous_cost
+from repro.model.validation import validate_schedule
+from repro.core.scheduler import MbspIlpScheduler, schedule_mbsp
+from repro.core.two_stage import baseline_schedule
+
+__all__ = [
+    "__version__",
+    "ComputationalDag",
+    "MbspArchitecture",
+    "MbspInstance",
+    "make_instance",
+    "MbspSchedule",
+    "asynchronous_cost",
+    "synchronous_cost",
+    "validate_schedule",
+    "MbspIlpScheduler",
+    "schedule_mbsp",
+    "baseline_schedule",
+]

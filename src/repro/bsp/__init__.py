@@ -1,0 +1,34 @@
+"""BSP scheduling substrate: schedule representation, cost model, schedulers."""
+
+from repro.bsp.schedule import BspAssignment, BspSchedule
+from repro.bsp.cost import BspCostBreakdown, bsp_cost, bsp_cost_breakdown
+from repro.bsp.greedy import GreedyBspParameters, GreedyBspScheduler, greedy_bsp_schedule
+from repro.bsp.cilk import WorkStealingTrace, cilk_bsp_schedule, simulate_work_stealing
+from repro.bsp.dfs import dfs_bsp_schedule, dfs_order
+from repro.bsp.superstepify import placement_from_bsp, superstepify
+from repro.bsp.ilp import BspIlpConfig, IlpBspScheduler, ilp_bsp_schedule
+from repro.bsp.etf import EtfPlacement, etf_bsp_schedule, etf_placement
+
+__all__ = [
+    "BspAssignment",
+    "BspSchedule",
+    "BspCostBreakdown",
+    "bsp_cost",
+    "bsp_cost_breakdown",
+    "GreedyBspParameters",
+    "GreedyBspScheduler",
+    "greedy_bsp_schedule",
+    "WorkStealingTrace",
+    "cilk_bsp_schedule",
+    "simulate_work_stealing",
+    "dfs_bsp_schedule",
+    "dfs_order",
+    "placement_from_bsp",
+    "superstepify",
+    "BspIlpConfig",
+    "IlpBspScheduler",
+    "ilp_bsp_schedule",
+    "EtfPlacement",
+    "etf_bsp_schedule",
+    "etf_placement",
+]

@@ -1,0 +1,125 @@
+"""Cilk-style randomized work-stealing scheduler (Blumofe & Leiserson [3]).
+
+The scheduler simulates ``P`` workers executing the DAG asynchronously: every
+worker owns a deque of ready tasks, works on its own deque LIFO, and steals
+FIFO from a uniformly random victim when it runs dry.  The simulation is
+event-driven over the compute weights; the result is a processor placement
+plus an execution order, which :func:`repro.bsp.superstepify.superstepify`
+turns into a BSP schedule for the two-stage pipeline.
+
+This is the "practical" first-stage baseline of the paper's experiments
+(combined with LRU eviction in the second stage).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.dag.graph import ComputationalDag, NodeId
+from repro.bsp.schedule import BspSchedule
+from repro.bsp.superstepify import superstepify
+
+
+@dataclass
+class WorkStealingTrace:
+    """Outcome of the work-stealing simulation."""
+
+    placement: Dict[NodeId, int]
+    order: List[NodeId]
+    finish_time: Dict[NodeId, float]
+    makespan: float
+    steals: int
+
+
+def simulate_work_stealing(
+    dag: ComputationalDag,
+    num_processors: int,
+    seed: int = 0,
+    steal_latency: float = 0.0,
+) -> WorkStealingTrace:
+    """Simulate randomized work stealing and return the execution trace."""
+    rng = random.Random(seed)
+    computable = [v for v in dag.nodes if not dag.is_source(v)]
+    pending = {
+        v: sum(1 for u in dag.parents(v) if not dag.is_source(u)) for v in computable
+    }
+
+    deques: List[Deque[NodeId]] = [deque() for _ in range(num_processors)]
+    # initially ready nodes are dealt round-robin, as if spawned by a root task
+    initially_ready = [v for v in computable if pending[v] == 0]
+    for i, v in enumerate(initially_ready):
+        deques[i % num_processors].append(v)
+
+    clock = [0.0] * num_processors
+    placement: Dict[NodeId, int] = {}
+    order: List[NodeId] = []
+    finish_time: Dict[NodeId, float] = {}
+    steals = 0
+    remaining = len(computable)
+
+    # event queue of idle processors ordered by their local time
+    idle = [(clock[p], p) for p in range(num_processors)]
+    heapq.heapify(idle)
+
+    while remaining > 0:
+        time_p, p = heapq.heappop(idle)
+        task: Optional[NodeId] = None
+        if deques[p]:
+            task = deques[p].pop()          # own deque: LIFO
+        else:
+            victims = [q for q in range(num_processors) if q != p and deques[q]]
+            if victims:
+                victim = rng.choice(victims)
+                task = deques[victim].popleft()  # steal: FIFO
+                steals += 1
+                time_p += steal_latency
+        if task is None:
+            # nothing to do: fast-forward to the next time any work may appear
+            busy_times = [t for (t, q) in idle if deques[q]] or [t for (t, _q) in idle]
+            next_time = min(busy_times) if busy_times else time_p
+            heapq.heappush(idle, (max(time_p, next_time) + 1e-9, p))
+            continue
+        # a task only starts once all its parents have finished (the deque
+        # discipline already guarantees this, but cross-processor finishes may
+        # be later than the local clock)
+        start = max(
+            [time_p]
+            + [finish_time[u] for u in dag.parents(task) if u in finish_time]
+        )
+        end = start + dag.omega(task)
+        clock[p] = end
+        placement[task] = p
+        order.append(task)
+        finish_time[task] = end
+        remaining -= 1
+        for child in dag.children(task):
+            if child in pending:
+                pending[child] -= 1
+                if pending[child] == 0:
+                    deques[p].append(child)
+        heapq.heappush(idle, (end, p))
+
+    return WorkStealingTrace(
+        placement=placement,
+        order=order,
+        finish_time=finish_time,
+        makespan=max(finish_time.values()) if finish_time else 0.0,
+        steals=steals,
+    )
+
+
+def cilk_bsp_schedule(
+    dag: ComputationalDag,
+    num_processors: int,
+    seed: int = 0,
+) -> BspSchedule:
+    """Work-stealing placement converted into a BSP schedule."""
+    trace = simulate_work_stealing(dag, num_processors, seed=seed)
+    # the execution order must be topological for superstepification; sort by
+    # finish time which respects precedence by construction
+    order = sorted(trace.order, key=lambda v: trace.finish_time[v])
+    return superstepify(dag, trace.placement, order, num_processors)

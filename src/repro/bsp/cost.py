@@ -1,0 +1,97 @@
+"""BSP cost model for first-stage schedules.
+
+This evaluator is only used to guide and report on the *first stage* of the
+two-stage approach (the MBSP costs of the final schedules are always computed
+by :mod:`repro.model.cost`).  It follows the standard BSP accounting: per
+superstep the work term is the maximum processor work, the communication term
+is ``g`` times the maximum h-relation (per-processor maximum of data sent and
+received), and every superstep pays the synchronization latency ``L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.dag.graph import ComputationalDag, NodeId
+from repro.bsp.schedule import BspSchedule
+
+
+@dataclass(frozen=True)
+class BspCostBreakdown:
+    """Decomposition of the BSP cost into work, communication and latency."""
+
+    work: float
+    communication: float
+    synchronization: float
+
+    @property
+    def total(self) -> float:
+        return self.work + self.communication + self.synchronization
+
+
+def bsp_cost_breakdown(schedule: BspSchedule, g: float, L: float) -> BspCostBreakdown:
+    """Evaluate a BSP schedule under the classic BSP cost model."""
+    dag = schedule.dag
+    P = schedule.num_processors
+    S = schedule.num_supersteps
+
+    work_total = 0.0
+    comm_total = 0.0
+    sync_total = 0.0
+
+    # value u (computed on proc q in superstep s) must be sent to proc p != q
+    # in the earliest superstep before any of u's children run on p.  We charge
+    # the send in the communication phase of superstep s (BSP semantics), and
+    # the matching receive on p in the same phase.
+    sent: List[List[float]] = [[0.0] * P for _ in range(S)]
+    received: List[List[float]] = [[0.0] * P for _ in range(S)]
+
+    for u in dag.nodes:
+        if dag.is_source(u):
+            # source values must be brought to every processor that uses them;
+            # charge a receive in the superstep before the first use.
+            users: Set[int] = set()
+            first_use: Dict[int, int] = {}
+            for v in dag.children(u):
+                if not schedule.is_assigned(v):
+                    continue
+                p = schedule.processor_of(v)
+                s = schedule.superstep_of(v)
+                users.add(p)
+                first_use[p] = min(first_use.get(p, s), s)
+            for p in users:
+                s = max(first_use[p] - 1, 0)
+                received[s][p] += dag.mu(u)
+            continue
+        if not schedule.is_assigned(u):
+            continue
+        q = schedule.processor_of(u)
+        s_u = schedule.superstep_of(u)
+        targets: Set[int] = set()
+        for v in dag.children(u):
+            if not schedule.is_assigned(v):
+                continue
+            p = schedule.processor_of(v)
+            if p != q:
+                targets.add(p)
+        for p in targets:
+            sent[s_u][q] += dag.mu(u)
+            received[s_u][p] += dag.mu(u)
+
+    for s in range(S):
+        work_s = 0.0
+        for p in range(P):
+            work_s = max(work_s, sum(dag.omega(v) for v in schedule.cell(p, s)))
+        h_relation = max(
+            max(sent[s][p], received[s][p]) for p in range(P)
+        ) if P else 0.0
+        work_total += work_s
+        comm_total += g * h_relation
+        sync_total += L
+    return BspCostBreakdown(work=work_total, communication=comm_total, synchronization=sync_total)
+
+
+def bsp_cost(schedule: BspSchedule, g: float, L: float) -> float:
+    """Total BSP cost of ``schedule``."""
+    return bsp_cost_breakdown(schedule, g, L).total

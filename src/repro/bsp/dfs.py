@@ -1,0 +1,63 @@
+"""Depth-first single-processor scheduler.
+
+For ``P = 1`` the MBSP problem degenerates into the red-blue pebble game with
+compute costs, and the paper uses a DFS ordering combined with the clairvoyant
+eviction policy as the (surprisingly strong) baseline.  The DFS order computes
+a node as soon as all its parents are available, diving into children before
+siblings, which keeps the working set small on tree-like and chain-like DAGs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.dag.graph import ComputationalDag, NodeId
+from repro.bsp.schedule import BspSchedule
+from repro.bsp.superstepify import superstepify
+
+
+def dfs_order(dag: ComputationalDag) -> List[NodeId]:
+    """A depth-first topological order of the non-source nodes.
+
+    The traversal starts from the children of the source nodes and always
+    prefers to continue with a child of the most recently computed node whose
+    other inputs are already available.
+    """
+    computable = [v for v in dag.nodes if not dag.is_source(v)]
+    pending: Dict[NodeId, int] = {
+        v: sum(1 for u in dag.parents(v) if not dag.is_source(u)) for v in computable
+    }
+    order: List[NodeId] = []
+    done: Set[NodeId] = set()
+    stack: List[NodeId] = [v for v in reversed(computable) if pending[v] == 0]
+    queued: Set[NodeId] = set(stack)
+
+    while stack:
+        v = stack.pop()
+        if v in done:
+            continue
+        if pending[v] > 0:
+            # not ready yet; it will be re-pushed when its last parent finishes
+            queued.discard(v)
+            continue
+        order.append(v)
+        done.add(v)
+        # push ready children (depth-first: children explored before siblings)
+        for child in reversed(dag.children(v)):
+            pending[child] -= 1
+            if pending[child] == 0 and child not in done and child not in queued:
+                stack.append(child)
+                queued.add(child)
+    # any stragglers (possible when a child's readiness was decided before a
+    # later parent finished) are appended in topological order
+    if len(order) < len(computable):
+        remaining = [v for v in dag.topological_order() if v in pending and v not in done]
+        order.extend(remaining)
+    return order
+
+
+def dfs_bsp_schedule(dag: ComputationalDag) -> BspSchedule:
+    """Single-processor BSP schedule following the DFS order (one superstep)."""
+    order = dfs_order(dag)
+    placement = {v: 0 for v in order}
+    return superstepify(dag, placement, order, num_processors=1)

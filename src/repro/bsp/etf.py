@@ -1,0 +1,102 @@
+"""Earliest-Task-First (ETF) list scheduler.
+
+A classic communication-aware list scheduler: ready tasks are repeatedly
+placed on the processor where they can *start earliest*, taking into account
+a per-value communication delay ``g * mu`` whenever an input was produced on
+a different processor.  ETF serves as an additional memory-oblivious first
+stage for the two-stage pipeline (alongside BSPg and Cilk) and as a reference
+point in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dag.graph import ComputationalDag, NodeId
+from repro.bsp.schedule import BspSchedule
+from repro.bsp.superstepify import superstepify
+
+
+@dataclass
+class EtfPlacement:
+    """Result of the ETF simulation: placement, order, and makespan."""
+
+    placement: Dict[NodeId, int]
+    order: List[NodeId]
+    start_time: Dict[NodeId, float]
+    finish_time: Dict[NodeId, float]
+    makespan: float
+
+
+def etf_placement(
+    dag: ComputationalDag,
+    num_processors: int,
+    g: float = 1.0,
+) -> EtfPlacement:
+    """Compute an ETF placement of the non-source nodes of ``dag``."""
+    if num_processors < 1:
+        raise ValueError("num_processors must be at least 1")
+    computable = [v for v in dag.nodes if not dag.is_source(v)]
+    pending = {
+        v: sum(1 for u in dag.parents(v) if not dag.is_source(u)) for v in computable
+    }
+    ready = {v for v in computable if pending[v] == 0}
+
+    proc_free = [0.0] * num_processors
+    placement: Dict[NodeId, int] = {}
+    start_time: Dict[NodeId, float] = {}
+    finish_time: Dict[NodeId, float] = {}
+    order: List[NodeId] = []
+
+    def earliest_start(v: NodeId, p: int) -> float:
+        start = proc_free[p]
+        for u in dag.parents(v):
+            if dag.is_source(u):
+                continue
+            ready_at = finish_time[u]
+            if placement[u] != p:
+                ready_at += g * dag.mu(u)   # value must be communicated
+            start = max(start, ready_at)
+        return start
+
+    while ready:
+        # pick the (task, processor) pair with the globally earliest start;
+        # ties are broken deterministically by node id
+        best: Optional[Tuple[float, str, NodeId, int]] = None
+        for v in ready:
+            for p in range(num_processors):
+                start = earliest_start(v, p)
+                key = (start, str(v), v, p)
+                if best is None or key[:2] < best[:2]:
+                    best = key
+        assert best is not None
+        start, _, v, p = best
+        placement[v] = p
+        start_time[v] = start
+        finish_time[v] = start + dag.omega(v)
+        proc_free[p] = finish_time[v]
+        order.append(v)
+        ready.discard(v)
+        for child in dag.children(v):
+            if child in pending:
+                pending[child] -= 1
+                if pending[child] == 0:
+                    ready.add(child)
+
+    makespan = max(finish_time.values()) if finish_time else 0.0
+    return EtfPlacement(
+        placement=placement,
+        order=order,
+        start_time=start_time,
+        finish_time=finish_time,
+        makespan=makespan,
+    )
+
+
+def etf_bsp_schedule(dag: ComputationalDag, num_processors: int, g: float = 1.0) -> BspSchedule:
+    """ETF placement converted into a valid BSP schedule."""
+    result = etf_placement(dag, num_processors, g=g)
+    topo_pos = {v: i for i, v in enumerate(dag.topological_order())}
+    order = sorted(result.order, key=lambda v: (result.start_time[v], topo_pos[v]))
+    return superstepify(dag, result.placement, order, num_processors)

@@ -1,0 +1,83 @@
+"""Conversion of processor-ordered executions into BSP supersteps.
+
+Asynchronous schedulers (work stealing, DFS, makespan list schedulers) output
+an assignment of nodes to processors together with a global execution order.
+To feed such a schedule into the two-stage pipeline it must first be expressed
+as a BSP schedule: this module assigns superstep indices such that every
+cross-processor dependency crosses a superstep boundary, which is the minimal
+superstep structure consistent with the given placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.dag.graph import ComputationalDag, NodeId
+from repro.exceptions import ScheduleError
+from repro.bsp.schedule import BspSchedule
+
+
+def superstepify(
+    dag: ComputationalDag,
+    placement: Dict[NodeId, int],
+    order: Sequence[NodeId],
+    num_processors: int,
+) -> BspSchedule:
+    """Build a BSP schedule from a processor placement and an execution order.
+
+    Parameters
+    ----------
+    dag:
+        The computational DAG.
+    placement:
+        Processor index for every non-source node.
+    order:
+        A global execution order of the non-source nodes (must be a
+        topological order of the non-source subgraph).
+    num_processors:
+        Number of processors.
+
+    The superstep of a node is the smallest index that satisfies the BSP
+    precedence rule given its parents' supersteps:
+    ``superstep(v) = max(superstep(u) + [1 if different processor else 0])``.
+    """
+    computable = [v for v in dag.nodes if not dag.is_source(v)]
+    missing = [v for v in computable if v not in placement]
+    if missing:
+        raise ScheduleError(f"placement missing nodes {missing!r}")
+    order_pos = {v: i for i, v in enumerate(order)}
+    missing_order = [v for v in computable if v not in order_pos]
+    if missing_order:
+        raise ScheduleError(f"execution order missing nodes {missing_order!r}")
+
+    superstep: Dict[NodeId, int] = {}
+    for v in sorted(computable, key=lambda v: order_pos[v]):
+        s = 0
+        for u in dag.parents(v):
+            if dag.is_source(u):
+                continue
+            if u not in superstep:
+                raise ScheduleError(
+                    f"execution order is not topological: {u!r} must precede {v!r}"
+                )
+            bump = 0 if placement[u] == placement[v] else 1
+            s = max(s, superstep[u] + bump)
+        superstep[v] = s
+
+    schedule = BspSchedule(dag, num_processors)
+    for v in sorted(computable, key=lambda v: (superstep[v], order_pos[v])):
+        schedule.assign(v, placement[v], superstep[v])
+    schedule.validate()
+    return schedule
+
+
+def placement_from_bsp(schedule: BspSchedule) -> Tuple[Dict[NodeId, int], List[NodeId]]:
+    """Inverse helper: extract (placement, execution order) from a BSP schedule."""
+    placement: Dict[NodeId, int] = {}
+    order: List[NodeId] = []
+    for s in range(schedule.num_supersteps):
+        for p in range(schedule.num_processors):
+            for v in schedule.cell(p, s):
+                placement[v] = p
+                order.append(v)
+    return placement, order

@@ -1,0 +1,30 @@
+"""Cache management: eviction policies and the two-stage BSP -> MBSP converter."""
+
+from repro.cache.policies import (
+    CacheEntryInfo,
+    ClairvoyantPolicy,
+    EvictionPolicy,
+    FifoPolicy,
+    LargestFirstPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.cache.conversion import TwoStageConverter, two_stage_schedule
+from repro.cache.simulator import CacheSimulationResult, CacheSimulator, simulate_cache
+
+__all__ = [
+    "CacheEntryInfo",
+    "ClairvoyantPolicy",
+    "EvictionPolicy",
+    "FifoPolicy",
+    "LargestFirstPolicy",
+    "LruPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "TwoStageConverter",
+    "two_stage_schedule",
+    "CacheSimulationResult",
+    "CacheSimulator",
+    "simulate_cache",
+]

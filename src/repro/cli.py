@@ -1,0 +1,197 @@
+"""Command-line interface for the MBSP scheduling library.
+
+Three sub-commands are provided:
+
+* ``schedule``   — generate (or load) a DAG, schedule it with a chosen method
+  and print costs, validation results and an optional schedule rendering;
+* ``dataset``    — list the benchmark datasets (instance names, sizes, r0);
+* ``experiment`` — run one of the paper's table experiments and print the
+  comparison against the paper's reference values.
+
+Examples
+--------
+```
+python -m repro.cli schedule --generator spmv --size 5 --processors 2 --method ilp --time-limit 10
+python -m repro.cli schedule --dag-file my_graph.json --processors 4 --method baseline --render
+python -m repro.cli dataset --which tiny --scale default
+python -m repro.cli experiment --table 1 --limit 3 --time-limit 5
+```
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.dag import io as dag_io
+from repro.dag.analysis import assign_random_memory_weights, dag_statistics
+from repro.dag.generators import (
+    bicgstab,
+    conjugate_gradient,
+    iterated_spmv,
+    kmeans,
+    knn_iteration,
+    pregel,
+    random_layered_dag,
+    simple_pagerank,
+    snni_graphchallenge,
+    spmv,
+)
+from repro.dag.graph import ComputationalDag
+from repro.ilp import SolverOptions
+from repro.model import (
+    asynchronous_cost,
+    make_instance,
+    render_gantt,
+    render_superstep_table,
+    synchronous_cost,
+    validate_schedule,
+)
+from repro.core import MbspIlpConfig, schedule_mbsp
+
+GENERATORS = {
+    "spmv": lambda size, seed: spmv(size, seed=seed),
+    "iterated_spmv": lambda size, seed: iterated_spmv(size, 2, seed=seed),
+    "cg": lambda size, seed: conjugate_gradient(max(size // 2, 2), 1, seed=seed),
+    "knn": lambda size, seed: knn_iteration(size, 2, seed=seed),
+    "bicgstab": lambda size, seed: bicgstab(iterations=max(size // 4, 1)),
+    "kmeans": lambda size, seed: kmeans(max(size // 4, 2), 2, 2),
+    "pregel": lambda size, seed: pregel(max(size // 4, 2), 3),
+    "pagerank": lambda size, seed: simple_pagerank(max(size // 2, 2), 4, seed=seed),
+    "snni": lambda size, seed: snni_graphchallenge(max(size // 2, 2), 4, seed=seed),
+    "random": lambda size, seed: random_layered_dag(4, max(size // 4, 2), seed=seed),
+}
+
+
+def _build_dag(args: argparse.Namespace) -> ComputationalDag:
+    if args.dag_file:
+        return dag_io.load(args.dag_file)
+    if args.generator not in GENERATORS:
+        raise SystemExit(
+            f"unknown generator {args.generator!r}; available: {sorted(GENERATORS)}"
+        )
+    dag = GENERATORS[args.generator](args.size, args.seed)
+    assign_random_memory_weights(dag, low=1, high=5, seed=args.seed)
+    return dag
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    dag = _build_dag(args)
+    stats = dag_statistics(dag)
+    print(f"DAG {dag.name}: {int(stats['nodes'])} nodes, {int(stats['edges'])} edges, "
+          f"r0 = {stats['r0']:g}")
+    instance = make_instance(
+        dag,
+        num_processors=args.processors,
+        cache_factor=args.cache_factor,
+        g=args.g,
+        L=args.latency,
+    )
+    config = MbspIlpConfig(
+        synchronous=not args.asynchronous,
+        solver_options=SolverOptions(time_limit=args.time_limit),
+    )
+    schedule = schedule_mbsp(instance, method=args.method, config=config,
+                             synchronous=not args.asynchronous, seed=args.seed)
+    validate_schedule(schedule, require_all_computed=False)
+    print(f"method: {args.method}   supersteps: {schedule.num_supersteps}")
+    print(f"synchronous cost : {synchronous_cost(schedule):.2f}")
+    print(f"asynchronous cost: {asynchronous_cost(schedule):.2f}")
+    if args.render:
+        print()
+        print(render_superstep_table(schedule))
+        print()
+        print(render_gantt(schedule))
+    if args.output:
+        from repro.model import save_schedule
+
+        save_schedule(schedule, args.output)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.experiments.datasets import small_dataset_specs, tiny_dataset_specs
+
+    specs = tiny_dataset_specs(args.scale) if args.which == "tiny" else small_dataset_specs(args.scale)
+    print(f"{args.which} dataset ({args.scale} scale): {len(specs)} instances")
+    header = f"{'instance':<20s} {'family':<8s} {'nodes':>6s} {'edges':>6s} {'r0':>5s}"
+    print(header)
+    print("-" * len(header))
+    for spec in specs:
+        dag = spec.build()
+        stats = dag_statistics(dag)
+        print(f"{spec.name:<20s} {spec.family:<8s} {int(stats['nodes']):>6d} "
+              f"{int(stats['edges']):>6d} {stats['r0']:>5.0f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import paper_reference
+    from repro.experiments.reporting import format_results_table
+    from repro.experiments.runner import ExperimentConfig
+    from repro.experiments.tables import table1, table2, table4
+
+    config = ExperimentConfig(ilp_time_limit=args.time_limit)
+    if args.table == 1:
+        results = table1(config=config, limit=args.limit)
+        print(format_results_table(results, "Table 1", paper_reference.TABLE1))
+    elif args.table == 2:
+        results = table2(limit=args.limit,
+                         config=ExperimentConfig(cache_factor=5.0, ilp_time_limit=args.time_limit))
+        print(format_results_table(results, "Table 2", paper_reference.TABLE2))
+    elif args.table == 4:
+        by_config = table4(base_config=config, limit=args.limit)
+        for name, results in by_config.items():
+            ref = paper_reference.TABLE4.get(name, paper_reference.TABLE1)
+            print(format_results_table(results, f"Table 4 [{name}]", ref))
+            print()
+    else:
+        raise SystemExit("only tables 1, 2 and 4 are runnable from the CLI")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sched = sub.add_parser("schedule", help="schedule one DAG")
+    sched.add_argument("--generator", default="spmv", help=f"workload family ({sorted(GENERATORS)})")
+    sched.add_argument("--size", type=int, default=5, help="generator size parameter")
+    sched.add_argument("--seed", type=int, default=0)
+    sched.add_argument("--dag-file", default=None, help="load the DAG from a .json/.dag file instead")
+    sched.add_argument("--processors", "-p", type=int, default=2)
+    sched.add_argument("--cache-factor", type=float, default=3.0, help="cache size as a multiple of r0")
+    sched.add_argument("--g", type=float, default=1.0)
+    sched.add_argument("--latency", "-L", type=float, default=10.0)
+    sched.add_argument("--method", default="baseline",
+                       choices=["baseline", "practical", "ilp", "divide-and-conquer"])
+    sched.add_argument("--time-limit", type=float, default=10.0)
+    sched.add_argument("--asynchronous", action="store_true", help="optimise the asynchronous cost")
+    sched.add_argument("--render", action="store_true", help="print superstep table and Gantt chart")
+    sched.add_argument("--output", default=None, help="write the schedule to a JSON file")
+    sched.set_defaults(func=_cmd_schedule)
+
+    data = sub.add_parser("dataset", help="list the benchmark datasets")
+    data.add_argument("--which", choices=["tiny", "small"], default="tiny")
+    data.add_argument("--scale", choices=["default", "paper"], default="default")
+    data.set_defaults(func=_cmd_dataset)
+
+    exp = sub.add_parser("experiment", help="run one of the paper's table experiments")
+    exp.add_argument("--table", type=int, choices=[1, 2, 4], default=1)
+    exp.add_argument("--limit", type=int, default=None, help="only the first N instances")
+    exp.add_argument("--time-limit", type=float, default=5.0)
+    exp.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The paper's core contribution: holistic ILP-based MBSP scheduling."""
+
+from repro.core.full_ilp import (
+    BoundaryConditions,
+    MbspIlpBuilder,
+    MbspIlpConfig,
+    MbspIlpVariables,
+)
+from repro.core.extraction import extract_schedule
+from repro.core.two_stage import (
+    TwoStageResult,
+    baseline_schedule,
+    practical_baseline_schedule,
+    run_two_stage,
+)
+from repro.core.scheduler import (
+    MbspIlpScheduler,
+    MbspSchedulingResult,
+    estimate_time_steps,
+    schedule_mbsp,
+)
+
+__all__ = [
+    "BoundaryConditions",
+    "MbspIlpBuilder",
+    "MbspIlpConfig",
+    "MbspIlpVariables",
+    "extract_schedule",
+    "TwoStageResult",
+    "baseline_schedule",
+    "practical_baseline_schedule",
+    "run_two_stage",
+    "MbspIlpScheduler",
+    "MbspSchedulingResult",
+    "estimate_time_steps",
+    "schedule_mbsp",
+]

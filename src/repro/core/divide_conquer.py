@@ -1,0 +1,311 @@
+"""Divide-and-conquer ILP scheduling for larger DAGs (Section 6.3, Appendix C.2).
+
+The pipeline has four steps:
+
+1. **Partition** — the DAG is recursively bipartitioned with the ILP-based
+   acyclic partitioner until every part has at most ``max_part_size`` nodes.
+2. **Plan** — the parts are contracted into a quotient DAG; a high-level plan
+   assigns a subset of the processors to every part (independent parts split
+   the machine proportionally to their work).
+3. **Solve** — every part becomes an MBSP sub-problem (boundary values from
+   earlier parts act as extra source values; values consumed by later parts
+   must be left in slow memory) which is solved with the full ILP scheduler,
+   initialised with its own two-stage baseline.
+4. **Concatenate** — the sub-schedules are stitched together; a part starts
+   after all its quotient predecessors and after its processors are free, and
+   leftover cache contents of a processor are evicted before it starts a new
+   part.
+
+As in the paper this is a heuristic: even if all sub-ILPs were solved to
+optimality, the concatenation need not be globally optimal, and on DAGs that
+do not partition into loosely coupled parts it can end up worse than the
+two-stage baseline (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dag.graph import ComputationalDag, NodeId
+from repro.bsp.greedy import greedy_bsp_schedule
+from repro.cache.conversion import two_stage_schedule
+from repro.cache.policies import ClairvoyantPolicy
+from repro.model.architecture import MbspArchitecture
+from repro.model.cost import schedule_cost
+from repro.model.instance import MbspInstance
+from repro.model.schedule import MbspSchedule, Superstep
+from repro.model.validation import replay_final_state, validate_schedule
+from repro.core.acyclic_partition import (
+    PartitionConfig,
+    RecursivePartition,
+    recursive_acyclic_partition,
+)
+from repro.core.full_ilp import BoundaryConditions, MbspIlpConfig
+from repro.core.quotient import SubproblemPlan, build_quotient_dag, plan_subproblems
+from repro.core.scheduler import MbspIlpScheduler
+from repro.core.two_stage import TwoStageResult, baseline_schedule
+
+
+@dataclass
+class SubproblemResult:
+    """Diagnostics for one part of the divide-and-conquer run."""
+
+    part: int
+    num_nodes: int
+    processors: List[int]
+    baseline_cost: float
+    ilp_cost: Optional[float]
+    used_ilp: bool
+
+
+@dataclass
+class DivideAndConquerResult:
+    """Outcome of the divide-and-conquer scheduler on one instance."""
+
+    instance: MbspInstance
+    partition: RecursivePartition
+    baseline: TwoStageResult
+    dac_schedule: MbspSchedule
+    dac_cost: float
+    subproblems: List[SubproblemResult]
+
+    @property
+    def best_schedule(self) -> MbspSchedule:
+        """The cheaper of the divide-and-conquer and baseline schedules."""
+        if self.dac_cost <= self.baseline.cost:
+            return self.dac_schedule
+        return self.baseline.mbsp_schedule
+
+    @property
+    def best_cost(self) -> float:
+        return min(self.dac_cost, self.baseline.cost)
+
+    @property
+    def improvement_ratio(self) -> float:
+        """Divide-and-conquer cost over baseline cost (can exceed 1)."""
+        if self.baseline.cost == 0:
+            return 1.0
+        return self.dac_cost / self.baseline.cost
+
+
+class DivideAndConquerScheduler:
+    """Partition-based ILP scheduler for DAGs too large for the full ILP."""
+
+    def __init__(
+        self,
+        ilp_config: Optional[MbspIlpConfig] = None,
+        partition_config: Optional[PartitionConfig] = None,
+    ) -> None:
+        self.ilp_config = ilp_config or MbspIlpConfig()
+        self.partition_config = partition_config or PartitionConfig(max_part_size=30)
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        instance: MbspInstance,
+        baseline: Optional[TwoStageResult] = None,
+    ) -> DivideAndConquerResult:
+        """Run the full divide-and-conquer pipeline on ``instance``."""
+        instance.require_feasible()
+        dag = instance.dag
+        if baseline is None:
+            baseline = baseline_schedule(instance, synchronous=self.ilp_config.synchronous)
+
+        partition = recursive_acyclic_partition(dag, self.partition_config)
+        quotient = build_quotient_dag(dag, partition)
+        plans = plan_subproblems(quotient, instance.num_processors)
+
+        part_nodes: Dict[int, List[NodeId]] = {
+            part: partition.nodes_of(part) for part in range(partition.num_parts)
+        }
+        global_schedule, sub_results = self._solve_and_concatenate(
+            instance, partition, plans, part_nodes
+        )
+        validate_schedule(global_schedule, require_all_computed=False)
+        dac_cost = schedule_cost(global_schedule, synchronous=self.ilp_config.synchronous)
+        return DivideAndConquerResult(
+            instance=instance,
+            partition=partition,
+            baseline=baseline,
+            dac_schedule=global_schedule,
+            dac_cost=dac_cost,
+            subproblems=sub_results,
+        )
+
+    # ------------------------------------------------------------------
+    # sub-problem construction
+    # ------------------------------------------------------------------
+    def _build_subdag(
+        self,
+        dag: ComputationalDag,
+        nodes: Sequence[NodeId],
+        part: int,
+    ) -> Tuple[ComputationalDag, Set[NodeId], Set[NodeId]]:
+        """Sub-DAG of one part plus its boundary inputs.
+
+        Returns ``(sub_dag, boundary_inputs, outputs_for_later_parts)``.
+        Boundary inputs (values produced by earlier parts or original sources
+        outside the part) are added as source nodes of the sub-DAG; they are
+        available in slow memory when the sub-problem starts.
+        """
+        node_set = set(nodes)
+        boundary: Set[NodeId] = set()
+        for v in nodes:
+            for u in dag.parents(v):
+                if u not in node_set:
+                    boundary.add(u)
+        sub = ComputationalDag(name=f"{dag.name}_part{part}")
+        for u in boundary:
+            sub.add_node(u, omega=dag.omega(u), mu=dag.mu(u))
+        for v in nodes:
+            sub.add_node(v, omega=dag.omega(v), mu=dag.mu(v))
+        for v in nodes:
+            for u in dag.parents(v):
+                sub.add_edge(u, v)
+        outputs = {
+            v
+            for v in nodes
+            if any(child not in node_set for child in dag.children(v))
+        }
+        return sub, boundary, outputs
+
+    def _solve_subproblem(
+        self,
+        instance: MbspInstance,
+        sub_dag: ComputationalDag,
+        outputs: Set[NodeId],
+        num_processors: int,
+        part: int,
+    ) -> Tuple[MbspSchedule, SubproblemResult]:
+        """Schedule one part: two-stage baseline, then the ILP on top of it."""
+        architecture = MbspArchitecture(
+            num_processors=num_processors,
+            cache_size=instance.cache_size,
+            g=instance.g,
+            L=instance.L,
+        )
+        sub_instance = MbspInstance(dag=sub_dag, architecture=architecture)
+        # values consumed by later parts must end up in slow memory; sub-DAG
+        # sinks are required automatically, so only pass the genuinely extra ones
+        extra_required = {v for v in outputs if not sub_dag.is_sink(v)}
+
+        bsp = greedy_bsp_schedule(sub_dag, num_processors, g=instance.g)
+        sub_baseline_schedule = two_stage_schedule(
+            bsp, sub_instance, ClairvoyantPolicy(), required_in_slow_memory=extra_required
+        )
+        baseline_cost = schedule_cost(
+            sub_baseline_schedule, synchronous=self.ilp_config.synchronous
+        )
+        sub_baseline = TwoStageResult(
+            bsp_schedule=bsp,
+            mbsp_schedule=sub_baseline_schedule,
+            cost=baseline_cost,
+            scheduler_name="bspg",
+            policy_name="clairvoyant",
+        )
+
+        boundary_conditions = BoundaryConditions(required_blue=extra_required)
+        ilp_result = MbspIlpScheduler(self.ilp_config).schedule(
+            sub_instance, baseline=sub_baseline, boundary=boundary_conditions
+        )
+        used_ilp = (
+            ilp_result.ilp_cost is not None and ilp_result.ilp_cost < baseline_cost
+        )
+        schedule = ilp_result.best_schedule
+        diag = SubproblemResult(
+            part=part,
+            num_nodes=sub_dag.num_nodes,
+            processors=list(range(num_processors)),
+            baseline_cost=baseline_cost,
+            ilp_cost=ilp_result.ilp_cost,
+            used_ilp=used_ilp,
+        )
+        return schedule, diag
+
+    # ------------------------------------------------------------------
+    # concatenation
+    # ------------------------------------------------------------------
+    def _solve_and_concatenate(
+        self,
+        instance: MbspInstance,
+        partition: RecursivePartition,
+        plans: List[SubproblemPlan],
+        part_nodes: Dict[int, List[NodeId]],
+    ) -> Tuple[MbspSchedule, List[SubproblemResult]]:
+        dag = instance.dag
+        P = instance.num_processors
+        supersteps: List[Superstep] = []
+        next_free = [0] * P
+        part_end: Dict[int, int] = {}
+        leftover_cache: Dict[int, Set[NodeId]] = {p: set() for p in range(P)}
+        sub_results: List[SubproblemResult] = []
+
+        def ensure_length(length: int) -> None:
+            while len(supersteps) < length:
+                supersteps.append(Superstep(P))
+
+        for plan in plans:
+            nodes = part_nodes[plan.part]
+            if not nodes:
+                continue
+            sub_dag, _boundary, outputs = self._build_subdag(dag, nodes, plan.part)
+            procs = plan.processors
+            sub_schedule, diag = self._solve_subproblem(
+                instance, sub_dag, outputs, len(procs), plan.part
+            )
+            diag.processors = list(procs)
+            sub_results.append(diag)
+
+            start = max(
+                [next_free[q] for q in procs]
+                + [part_end.get(pred, 0) for pred in plan.predecessors]
+            )
+            # streamlining (Appendix C.2): the first superstep of a sub-schedule
+            # only performs I/O (nothing can be computed with an empty cache),
+            # so it can be merged into the preceding superstep — values saved
+            # there by predecessor parts become visible before the load phase
+            first_local = sub_schedule.supersteps[0] if sub_schedule.supersteps else None
+            merge_border = (
+                start >= 1
+                and first_local is not None
+                and not any(ps.computed_nodes() for ps in first_local.processor_steps)
+                # only merge when the part's processors are idle in the target
+                # superstep: otherwise their previous part may still be loading
+                # values there, and evicting its leftover cache in the same
+                # superstep would break the phase ordering
+                and all(next_free[q] <= start - 1 for q in procs)
+            )
+            offset = start - 1 if merge_border else start
+            length = sub_schedule.num_supersteps
+            ensure_length(offset + max(length, 1))
+
+            # map local processors/supersteps into the global schedule
+            for s, step in enumerate(sub_schedule.supersteps):
+                target = supersteps[offset + s]
+                for local_p, global_p in enumerate(procs):
+                    local = step[local_p]
+                    dest = target[global_p]
+                    dest.compute_phase.extend(local.compute_phase)
+                    dest.save_phase.extend(local.save_phase)
+                    dest.delete_phase.extend(local.delete_phase)
+                    dest.load_phase.extend(local.load_phase)
+
+            # evict anything a processor still held from its previous part so
+            # the memory bound keeps holding for the new sub-schedule
+            first_step = supersteps[offset]
+            for local_p, global_p in enumerate(procs):
+                stale = leftover_cache[global_p]
+                if stale:
+                    first_step[global_p].delete_phase.extend(sorted(stale, key=str))
+                    leftover_cache[global_p] = set()
+
+            # remember what this sub-schedule leaves behind in each cache
+            final_state = replay_final_state(sub_schedule)
+            for local_p, global_p in enumerate(procs):
+                leftover_cache[global_p] = set(final_state.red[local_p])
+                next_free[global_p] = offset + length
+            part_end[plan.part] = offset + length
+
+        schedule = MbspSchedule(instance, supersteps)
+        return schedule.drop_empty_supersteps(), sub_results

@@ -1,0 +1,195 @@
+"""Conversion of ILP solutions back into explicit MBSP schedules.
+
+The ILP works on (merged) time steps; an MBSP schedule is organized into
+supersteps with compute/save/delete/load phases.  The extraction walks over
+the ILP steps, groups a maximal run of compute steps followed by a maximal
+run of communication steps into one superstep, reconstructs the DELETE
+operations from the ``hasred`` transitions, and removes operations that have
+no effect (redundant saves of already-blue values, loads of values that are
+dropped immediately).
+
+Every extracted schedule is validated by the caller; the extraction itself is
+written so the produced schedule respects the pebbling rules whenever the ILP
+solution satisfies the model constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dag.graph import ComputationalDag, NodeId
+from repro.ilp.solution import IlpSolution
+from repro.model.instance import MbspInstance
+from repro.model.pebbling import Operation, compute_op, delete_op
+from repro.model.schedule import MbspSchedule, ProcessorSuperstep, Superstep
+from repro.core.full_ilp import BoundaryConditions, MbspIlpVariables
+
+
+@dataclass
+class _StepOps:
+    """Per-step, per-processor operation lists read from the ILP solution."""
+
+    computes: List[List[NodeId]]
+    saves: List[List[NodeId]]
+    loads: List[List[NodeId]]
+    deletes: List[List[NodeId]]   # red pebbles dropped at the end of the step
+
+    def is_compute_step(self) -> bool:
+        return any(self.computes)
+
+    def is_comm_step(self) -> bool:
+        return any(self.saves) or any(self.loads)
+
+    def is_empty(self) -> bool:
+        return not (
+            self.is_compute_step()
+            or self.is_comm_step()
+            or any(self.deletes)
+        )
+
+
+def extract_schedule(
+    instance: MbspInstance,
+    variables: MbspIlpVariables,
+    solution: IlpSolution,
+    boundary: Optional[BoundaryConditions] = None,
+) -> MbspSchedule:
+    """Build an :class:`MbspSchedule` from an ILP solution."""
+    boundary = boundary or BoundaryConditions()
+    dag = instance.dag
+    P = instance.num_processors
+    T = variables.num_steps
+    topo_pos = {v: i for i, v in enumerate(dag.topological_order())}
+    initial_blue = set(dag.sources()) | set(boundary.initial_blue)
+
+    def initially_red(p: int, v: NodeId) -> bool:
+        return v in boundary.initial_red.get(p, set())
+
+    def hasred(p: int, v: NodeId, t: int) -> bool:
+        return variables.hasred_value(solution, p, v, t, initial=initially_red(p, v))
+
+    def hasblue(v: NodeId, t: int) -> bool:
+        if v in initial_blue:
+            return True
+        return variables.hasblue_value(solution, v, t, initial=False)
+
+    steps: List[_StepOps] = []
+    for t in range(T):
+        computes: List[List[NodeId]] = [[] for _ in range(P)]
+        saves: List[List[NodeId]] = [[] for _ in range(P)]
+        loads: List[List[NodeId]] = [[] for _ in range(P)]
+        for p in range(P):
+            for v in dag.nodes:
+                if variables.compute_value(solution, p, v, t):
+                    computes[p].append(v)
+                if variables.save_value(solution, p, v, t) and not hasblue(v, t):
+                    saves[p].append(v)      # drop saves of already-blue values
+                if variables.load_value(solution, p, v, t):
+                    loads[p].append(v)
+            # computes of one merged step must respect the DAG order
+            computes[p].sort(key=lambda v: topo_pos[v])
+        steps.append(_StepOps(computes=computes, saves=saves, loads=loads,
+                              deletes=[[] for _ in range(P)]))
+
+    # identify the communication runs so useless loads can be dropped: a value
+    # loaded inside a comm run that is no longer red right after the run ends
+    # was never used and is removed together with its (implicit) deletion
+    run_end_after = [T] * T   # first step index after the comm run containing t
+    t = 0
+    while t < T:
+        if steps[t].is_comm_step() and not steps[t].is_compute_step():
+            end = t
+            while (
+                end + 1 < T
+                and steps[end + 1].is_comm_step()
+                and not steps[end + 1].is_compute_step()
+            ):
+                end += 1
+            for k in range(t, end + 1):
+                run_end_after[k] = end + 1
+            t = end + 1
+        else:
+            run_end_after[t] = t + 1
+            t += 1
+
+    for t in range(T):
+        boundary_t = run_end_after[t]
+        for p in range(P):
+            kept_loads = []
+            for v in steps[t].loads[p]:
+                if hasred(p, v, min(boundary_t, T)):
+                    kept_loads.append(v)
+                # else: the value is dropped before it is ever used — skip it
+            steps[t].loads[p] = kept_loads
+
+    # reconstruct deletions from the hasred transitions (taking the cleaned-up
+    # loads into account: a value that was never actually loaded or kept needs
+    # no deletion either)
+    in_cache: List[Set[NodeId]] = [
+        {v for v in dag.nodes if initially_red(p, v)} for p in range(P)
+    ]
+    for t in range(T):
+        for p in range(P):
+            new_cache = set(in_cache[p])
+            new_cache.update(steps[t].computes[p])
+            new_cache.update(steps[t].loads[p])
+            keep = {v for v in new_cache if hasred(p, v, t + 1)}
+            steps[t].deletes[p] = sorted(new_cache - keep, key=lambda v: topo_pos.get(v, 0))
+            in_cache[p] = keep
+
+    return _assemble_supersteps(instance, steps)
+
+
+def _assemble_supersteps(instance: MbspInstance, steps: Sequence[_StepOps]) -> MbspSchedule:
+    """Group ILP steps into supersteps (compute run followed by comm run)."""
+    P = instance.num_processors
+    supersteps: List[Superstep] = []
+    current: Optional[Superstep] = None
+    current_has_comm = False
+
+    def ensure_current() -> Superstep:
+        nonlocal current
+        if current is None:
+            current = Superstep(P)
+        return current
+
+    for step in steps:
+        if step.is_empty():
+            continue
+        if step.is_compute_step():
+            if current is not None and current_has_comm:
+                supersteps.append(current)
+                current = None
+                current_has_comm = False
+            target = ensure_current()
+            for p in range(P):
+                for v in step.computes[p]:
+                    target[p].compute_phase.append(compute_op(v))
+                # values dropped at the end of a compute step are deleted in
+                # the compute phase (DELETE is allowed there), keeping the
+                # cache usage of subsequent merged steps consistent
+                for v in step.deletes[p]:
+                    target[p].compute_phase.append(delete_op(v))
+                # saves/loads in a mixed step can only belong to *other*
+                # processors (per-processor phase exclusivity); place them in
+                # the communication phases of the same superstep
+                target[p].save_phase.extend(step.saves[p])
+                target[p].load_phase.extend(step.loads[p])
+            if step.is_comm_step():
+                # mixed steps (possible in the asynchronous model) end the
+                # superstep so that later computes see the loaded values in a
+                # fresh compute phase
+                current_has_comm = True
+        else:
+            target = ensure_current()
+            current_has_comm = True
+            for p in range(P):
+                target[p].save_phase.extend(step.saves[p])
+                target[p].delete_phase.extend(step.deletes[p])
+                target[p].load_phase.extend(step.loads[p])
+    if current is not None and not current.is_empty():
+        supersteps.append(current)
+
+    schedule = MbspSchedule(instance, supersteps)
+    return schedule.drop_empty_supersteps()

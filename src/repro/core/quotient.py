@@ -1,0 +1,110 @@
+"""Quotient graphs of partitioned DAGs and the high-level scheduling plan.
+
+Step 2 of the divide-and-conquer scheduler (Section 6.3 / Appendix C.2):
+given an acyclic partition, the parts are contracted into a quotient DAG
+(node weights are the summed compute/memory weights of the part) and a
+high-level plan decides which subset of processors works on each part and in
+which order the sub-problems are scheduled.
+
+The plan follows the spirit of the adjusted BSPg heuristic described in the
+paper: parts are processed level by level in topological order of the
+quotient; parts that are independent of each other (same level) split the
+available processors proportionally to their work, while a part that is alone
+in its level receives all processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.dag.graph import ComputationalDag, NodeId
+from repro.core.acyclic_partition import RecursivePartition
+
+
+def build_quotient_dag(dag: ComputationalDag, partition: RecursivePartition) -> ComputationalDag:
+    """Contract each part into a single node; weights are summed per part.
+
+    Raises if the quotient contains a cycle (i.e. the partition is not
+    acyclic), which would make the divide-and-conquer order ill-defined.
+    """
+    quotient = ComputationalDag(name=f"{dag.name}_quotient")
+    sums: Dict[int, Tuple[float, float]] = {}
+    for v in dag.nodes:
+        part = partition.parts[v]
+        omega, mu = sums.get(part, (0.0, 0.0))
+        sums[part] = (omega + dag.omega(v), mu + dag.mu(v))
+    for part in range(partition.num_parts):
+        omega, mu = sums.get(part, (0.0, 0.0))
+        quotient.add_node(part, omega=omega, mu=mu)
+    for u, v in dag.edges():
+        pu, pv = partition.parts[u], partition.parts[v]
+        if pu != pv:
+            quotient.add_edge(pu, pv)
+    # topological_order raises CycleError if the partition was not acyclic
+    quotient.topological_order()
+    return quotient
+
+
+@dataclass
+class SubproblemPlan:
+    """Which processors work on one part, and which parts must finish first."""
+
+    part: int
+    processors: List[int]
+    predecessors: List[int] = field(default_factory=list)
+
+
+def plan_subproblems(
+    quotient: ComputationalDag,
+    num_processors: int,
+) -> List[SubproblemPlan]:
+    """Assign processor subsets to parts, level by level.
+
+    Parts within one level of the quotient DAG are mutually independent, so
+    they divide the ``num_processors`` processors proportionally to their
+    compute weight (each part receives at least one processor).  The returned
+    plans are ordered topologically (level by level).
+    """
+    from repro.dag.analysis import node_levels
+
+    levels = node_levels(quotient)
+    by_level: Dict[int, List[int]] = {}
+    for part, level in levels.items():
+        by_level.setdefault(level, []).append(part)
+
+    plans: List[SubproblemPlan] = []
+    for level in sorted(by_level):
+        parts = sorted(by_level[level], key=lambda part: -quotient.omega(part))
+        if len(parts) == 1 or num_processors <= len(parts):
+            # one part per "slot": a lone part gets everything; when there are
+            # more parts than processors, give one processor each round-robin
+            if len(parts) == 1:
+                allocations = [list(range(num_processors))]
+            else:
+                allocations = [[i % num_processors] for i in range(len(parts))]
+        else:
+            total = sum(max(quotient.omega(part), 1e-9) for part in parts)
+            shares = [
+                max(1, int(round(num_processors * max(quotient.omega(part), 1e-9) / total)))
+                for part in parts
+            ]
+            # fix rounding so the shares sum to exactly num_processors
+            while sum(shares) > num_processors:
+                shares[shares.index(max(shares))] -= 1
+            while sum(shares) < num_processors:
+                shares[shares.index(min(shares))] += 1
+            allocations = []
+            next_proc = 0
+            for share in shares:
+                allocations.append(list(range(next_proc, next_proc + share)))
+                next_proc += share
+        for part, procs in zip(parts, allocations):
+            plans.append(
+                SubproblemPlan(
+                    part=part,
+                    processors=procs,
+                    predecessors=sorted(quotient.parents(part)),
+                )
+            )
+    return plans

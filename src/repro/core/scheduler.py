@@ -1,0 +1,180 @@
+"""Top-level MBSP scheduling API.
+
+:class:`MbspIlpScheduler` implements the paper's holistic scheduler: it takes
+a two-stage baseline as the initial solution, builds the full ILP formulation
+with the baseline cost as an objective cutoff (emulating a warm start),
+solves it within a time limit, extracts the schedule and keeps whichever of
+the two schedules is cheaper under the exact cost evaluator.
+
+:func:`schedule_mbsp` is the convenience entry point used by the examples and
+the experiment harness; it dispatches between the baselines, the full ILP and
+the divide-and-conquer ILP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.ilp.solution import SolutionStatus
+from repro.ilp import solve
+from repro.model.cost import schedule_cost
+from repro.model.instance import MbspInstance
+from repro.model.schedule import MbspSchedule
+from repro.model.validation import validate_schedule
+from repro.core.extraction import extract_schedule
+from repro.core.full_ilp import BoundaryConditions, MbspIlpBuilder, MbspIlpConfig
+from repro.core.two_stage import TwoStageResult, baseline_schedule, run_two_stage
+
+
+@dataclass
+class MbspSchedulingResult:
+    """Outcome of the holistic ILP scheduler on one instance."""
+
+    instance: MbspInstance
+    baseline: TwoStageResult
+    ilp_schedule: Optional[MbspSchedule]
+    ilp_cost: Optional[float]
+    best_schedule: MbspSchedule
+    best_cost: float
+    solver_status: str
+    solve_time: float
+
+    @property
+    def improvement_ratio(self) -> float:
+        """Best cost divided by the baseline cost (<= 1 means improvement)."""
+        if self.baseline.cost == 0:
+            return 1.0
+        return self.best_cost / self.baseline.cost
+
+
+def estimate_time_steps(
+    baseline: MbspSchedule,
+    extra_steps: int = 2,
+    step_cap: int = 12,
+) -> int:
+    """Derive the ILP step budget ``T`` from an initial MBSP schedule.
+
+    Every superstep of the initial schedule needs at most one merged compute
+    step and two merged communication steps, so ``2 * supersteps + extra``
+    steps are normally enough to express a schedule at least as refined as
+    the baseline.  The budget is additionally capped (default 12 steps):
+    the number of ILP variables grows linearly in ``T`` and, empirically, a
+    tighter step budget lets the MILP solver find far better incumbents
+    within a limited time budget — good schedules are much more compact than
+    the two-stage baseline.  The cap can be lifted through
+    ``MbspIlpConfig.max_steps``.
+    """
+    derived = 2 * baseline.num_supersteps + extra_steps
+    return max(4, min(derived, step_cap))
+
+
+class MbspIlpScheduler:
+    """The holistic ILP-based MBSP scheduler (Section 6)."""
+
+    def __init__(self, config: Optional[MbspIlpConfig] = None) -> None:
+        self.config = config or MbspIlpConfig()
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        instance: MbspInstance,
+        baseline: Optional[TwoStageResult] = None,
+        boundary: Optional[BoundaryConditions] = None,
+    ) -> MbspSchedulingResult:
+        """Schedule ``instance``; never returns a result worse than the baseline."""
+        instance.require_feasible()
+        config = self.config
+        if baseline is None:
+            baseline = baseline_schedule(instance, synchronous=config.synchronous)
+
+        num_steps = config.max_steps or estimate_time_steps(
+            baseline.mbsp_schedule, config.extra_steps
+        )
+        cutoff = config.cutoff if config.cutoff is not None else baseline.cost
+
+        builder = MbspIlpBuilder(
+            instance,
+            config=MbspIlpConfig(
+                synchronous=config.synchronous,
+                use_step_merging=config.use_step_merging,
+                allow_recomputation=config.allow_recomputation,
+                max_steps=num_steps,
+                extra_steps=config.extra_steps,
+                cutoff=cutoff,
+                solver_options=config.solver_options,
+                backend=config.backend,
+            ),
+            boundary=boundary,
+        )
+        model, variables = builder.build(num_steps)
+        solution = solve(model, config.solver_options, backend=config.backend)
+
+        ilp_schedule: Optional[MbspSchedule] = None
+        ilp_cost: Optional[float] = None
+        if solution.has_solution:
+            try:
+                candidate = extract_schedule(instance, variables, solution, boundary)
+                validate_schedule(candidate, require_all_computed=False)
+                ilp_schedule = candidate
+                ilp_cost = schedule_cost(candidate, synchronous=config.synchronous)
+            except Exception:
+                ilp_schedule = None
+                ilp_cost = None
+
+        if ilp_cost is not None and ilp_cost < baseline.cost:
+            best_schedule, best_cost = ilp_schedule, ilp_cost
+        else:
+            # warm-start semantics: the initial (baseline) solution is kept
+            # whenever the solver cannot improve on it within its budget
+            best_schedule, best_cost = baseline.mbsp_schedule, baseline.cost
+        return MbspSchedulingResult(
+            instance=instance,
+            baseline=baseline,
+            ilp_schedule=ilp_schedule,
+            ilp_cost=ilp_cost,
+            best_schedule=best_schedule,
+            best_cost=best_cost,
+            solver_status=solution.status.value,
+            solve_time=solution.solve_time,
+        )
+
+
+def schedule_mbsp(
+    instance: MbspInstance,
+    method: str = "ilp",
+    config: Optional[MbspIlpConfig] = None,
+    synchronous: bool = True,
+    seed: int = 0,
+) -> MbspSchedule:
+    """High-level entry point returning an MBSP schedule for ``instance``.
+
+    Parameters
+    ----------
+    method:
+        ``"baseline"`` (BSPg + clairvoyant), ``"practical"`` (Cilk + LRU),
+        ``"ilp"`` (full ILP initialised with the baseline) or
+        ``"divide-and-conquer"`` (the partition-based ILP for larger DAGs).
+    """
+    key = method.lower()
+    if key in ("baseline", "two-stage", "bspg"):
+        return baseline_schedule(instance, synchronous=synchronous, seed=seed).mbsp_schedule
+    if key in ("practical", "cilk"):
+        return run_two_stage(
+            instance, scheduler="cilk", policy="lru", synchronous=synchronous, seed=seed
+        ).mbsp_schedule
+    if key == "ilp":
+        scheduler_config = config or MbspIlpConfig(synchronous=synchronous)
+        result = MbspIlpScheduler(scheduler_config).schedule(instance)
+        return result.best_schedule
+    if key in ("divide-and-conquer", "dac", "divide_and_conquer"):
+        from repro.core.divide_conquer import DivideAndConquerScheduler
+
+        scheduler_config = config or MbspIlpConfig(synchronous=synchronous)
+        return DivideAndConquerScheduler(scheduler_config).schedule(instance).best_schedule
+    raise ConfigurationError(
+        f"unknown scheduling method {method!r}; available: baseline, practical, "
+        f"ilp, divide-and-conquer"
+    )

@@ -1,0 +1,145 @@
+"""The two-stage baseline pipelines (Section 4, Section 7.1).
+
+A two-stage scheduler combines a first-stage (memory-oblivious) BSP scheduler
+with a second-stage cache-management policy:
+
+* ``bspg + clairvoyant`` — the paper's main baseline,
+* ``cilk + lru`` — the "practical" baseline,
+* ``bsp-ilp + clairvoyant`` — the stronger baseline with an ILP first stage,
+* ``dfs + clairvoyant`` — the single-processor (red-blue pebbling) baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.bsp.cilk import cilk_bsp_schedule
+from repro.bsp.dfs import dfs_bsp_schedule
+from repro.bsp.etf import etf_bsp_schedule
+from repro.bsp.greedy import greedy_bsp_schedule
+from repro.bsp.ilp import BspIlpConfig, ilp_bsp_schedule
+from repro.bsp.schedule import BspSchedule
+from repro.cache.conversion import two_stage_schedule
+from repro.cache.policies import ClairvoyantPolicy, EvictionPolicy, LruPolicy, make_policy
+from repro.model.cost import schedule_cost
+from repro.model.instance import MbspInstance
+from repro.model.schedule import MbspSchedule
+from repro.model.validation import validate_schedule
+
+
+@dataclass
+class TwoStageResult:
+    """Outcome of a two-stage run: both stages plus the evaluated cost."""
+
+    bsp_schedule: BspSchedule
+    mbsp_schedule: MbspSchedule
+    cost: float
+    scheduler_name: str
+    policy_name: str
+
+
+def _first_stage(
+    name: str,
+    instance: MbspInstance,
+    seed: int,
+    bsp_ilp_config: Optional[BspIlpConfig],
+) -> BspSchedule:
+    dag = instance.dag
+    P = instance.num_processors
+    key = name.lower()
+    if key in ("bspg", "greedy"):
+        return greedy_bsp_schedule(dag, P, g=instance.g)
+    if key == "cilk":
+        return cilk_bsp_schedule(dag, P, seed=seed)
+    if key == "etf":
+        return etf_bsp_schedule(dag, P, g=instance.g)
+    if key == "dfs":
+        if P != 1:
+            # the DFS scheduler is single-processor by definition; it is used
+            # for the P = 1 red-blue pebbling experiments
+            raise ConfigurationError("the DFS first stage requires P = 1")
+        return dfs_bsp_schedule(dag)
+    if key in ("bsp-ilp", "bsp_ilp", "ilp"):
+        return ilp_bsp_schedule(dag, P, g=instance.g, L=instance.L, config=bsp_ilp_config)
+    raise ConfigurationError(
+        f"unknown first-stage scheduler {name!r}; "
+        f"available: bspg, cilk, etf, dfs, bsp-ilp"
+    )
+
+
+def run_two_stage(
+    instance: MbspInstance,
+    scheduler: str = "bspg",
+    policy: Optional[EvictionPolicy | str] = None,
+    synchronous: bool = True,
+    seed: int = 0,
+    bsp_ilp_config: Optional[BspIlpConfig] = None,
+    validate: bool = True,
+) -> TwoStageResult:
+    """Run a two-stage pipeline on ``instance`` and return schedule and cost.
+
+    Parameters
+    ----------
+    scheduler:
+        First-stage scheduler: ``"bspg"``, ``"cilk"``, ``"dfs"`` or ``"bsp-ilp"``.
+    policy:
+        Second-stage eviction policy (object or name); defaults to clairvoyant.
+    synchronous:
+        Whether the reported cost uses the synchronous or asynchronous model.
+    """
+    if policy is None:
+        policy_obj: EvictionPolicy = ClairvoyantPolicy()
+    elif isinstance(policy, str):
+        policy_obj = make_policy(policy)
+    else:
+        policy_obj = policy
+
+    bsp = _first_stage(scheduler, instance, seed, bsp_ilp_config)
+    mbsp = two_stage_schedule(bsp, instance, policy_obj)
+    if validate:
+        validate_schedule(mbsp)
+    cost = schedule_cost(mbsp, synchronous=synchronous)
+    return TwoStageResult(
+        bsp_schedule=bsp,
+        mbsp_schedule=mbsp,
+        cost=cost,
+        scheduler_name=scheduler,
+        policy_name=policy_obj.name,
+    )
+
+
+def baseline_schedule(
+    instance: MbspInstance,
+    synchronous: bool = True,
+    seed: int = 0,
+) -> TwoStageResult:
+    """The paper's main baseline: BSPg first stage + clairvoyant eviction.
+
+    For single-processor instances the DFS ordering is used instead, matching
+    the red-blue pebbling experiments of Section 7.2.
+    """
+    scheduler = "dfs" if instance.num_processors == 1 else "bspg"
+    return run_two_stage(
+        instance,
+        scheduler=scheduler,
+        policy=ClairvoyantPolicy(),
+        synchronous=synchronous,
+        seed=seed,
+    )
+
+
+def practical_baseline_schedule(
+    instance: MbspInstance,
+    synchronous: bool = True,
+    seed: int = 0,
+) -> TwoStageResult:
+    """The "application-oriented" baseline: Cilk work stealing + LRU eviction."""
+    return run_two_stage(
+        instance,
+        scheduler="cilk",
+        policy=LruPolicy(),
+        synchronous=synchronous,
+        seed=seed,
+    )

@@ -1,0 +1,22 @@
+"""Computational DAG substrate: graph data structure, analysis, I/O, generators."""
+
+from repro.dag.graph import ComputationalDag, NodeData
+from repro.dag.analysis import (
+    assign_random_memory_weights,
+    critical_path_length,
+    dag_statistics,
+    minimum_cache_size,
+    node_levels,
+    work_lower_bound,
+)
+
+__all__ = [
+    "ComputationalDag",
+    "NodeData",
+    "assign_random_memory_weights",
+    "critical_path_length",
+    "dag_statistics",
+    "minimum_cache_size",
+    "node_levels",
+    "work_lower_bound",
+]

@@ -1,0 +1,30 @@
+"""Computational DAG generators for the benchmark workload families."""
+
+from repro.dag.generators.random_dags import (
+    chain_dag,
+    fork_join_dag,
+    random_dag,
+    random_layered_dag,
+    random_tree,
+)
+from repro.dag.generators.linalg import conjugate_gradient, iterated_spmv, spmv
+from repro.dag.generators.knn import knn_iteration
+from repro.dag.generators.coarse import bicgstab, kmeans, pregel
+from repro.dag.generators.graphs import simple_pagerank, snni_graphchallenge
+
+__all__ = [
+    "chain_dag",
+    "fork_join_dag",
+    "random_dag",
+    "random_layered_dag",
+    "random_tree",
+    "conjugate_gradient",
+    "iterated_spmv",
+    "spmv",
+    "knn_iteration",
+    "bicgstab",
+    "kmeans",
+    "pregel",
+    "simple_pagerank",
+    "snni_graphchallenge",
+]

@@ -1,0 +1,135 @@
+"""Coarse-grained algorithm task graphs (BiCGSTAB, k-means, Pregel).
+
+The benchmark's coarse-grained instances represent whole operators (an SpMV,
+a dot product, a centroid update, a Pregel superstep over a graph partition)
+as single DAG nodes with heterogeneous compute weights.  These generators
+reproduce the published algorithm structure at that granularity and unroll a
+configurable number of iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dag.graph import ComputationalDag
+
+# Coarse-grained compute-weight convention: matrix-vector products and other
+# O(nnz) operators are heavy, vector updates medium, scalar reductions light.
+_W_SPMV = 8
+_W_DOT = 3
+_W_AXPY = 4
+_W_SCALAR = 1
+_W_DIST = 6
+_W_ASSIGN = 4
+_W_CENTROID = 5
+_W_VERTEX = 6
+_W_MSG = 3
+_W_AGG = 2
+
+
+class _Builder:
+    """Tiny helper to build coarse task graphs with readable code."""
+
+    def __init__(self, name: str) -> None:
+        self.dag = ComputationalDag(name=name)
+        self._next = 0
+
+    def node(self, omega: float, mu: float = 1.0, parents: Optional[List[int]] = None) -> int:
+        idx = self._next
+        self._next += 1
+        self.dag.add_node(idx, omega=omega, mu=mu)
+        for p in parents or []:
+            self.dag.add_edge(p, idx)
+        return idx
+
+
+def bicgstab(iterations: int = 3, name: Optional[str] = None) -> ComputationalDag:
+    """Coarse-grained BiCGSTAB task graph with ``iterations`` unrolled steps.
+
+    Each iteration follows the textbook BiCGSTAB data flow: two SpMV
+    applications (``v = A p`` and ``t = A s``), four dot products, the scalar
+    updates (rho, alpha, omega, beta), and the vector updates for ``s``,
+    ``x`` and ``r``.
+    """
+    b = _Builder(name or "bicgstab")
+    # initial data: b (rhs), x0 -> r0 = b - A x0, rhat = r0, p0 = r0
+    rhs = b.node(_W_SCALAR)
+    x = b.node(_W_SCALAR)
+    spmv0 = b.node(_W_SPMV, parents=[x])
+    r = b.node(_W_AXPY, parents=[rhs, spmv0])
+    rhat = b.node(_W_SCALAR, parents=[r])
+    p = b.node(_W_SCALAR, parents=[r])
+    rho = b.node(_W_DOT, parents=[rhat, r])
+    for _ in range(iterations):
+        v = b.node(_W_SPMV, parents=[p])
+        rhat_v = b.node(_W_DOT, parents=[rhat, v])
+        alpha = b.node(_W_SCALAR, parents=[rho, rhat_v])
+        s = b.node(_W_AXPY, parents=[r, alpha, v])
+        t = b.node(_W_SPMV, parents=[s])
+        t_s = b.node(_W_DOT, parents=[t, s])
+        t_t = b.node(_W_DOT, parents=[t])
+        omega_s = b.node(_W_SCALAR, parents=[t_s, t_t])
+        x = b.node(_W_AXPY, parents=[x, alpha, p, omega_s, s])
+        r = b.node(_W_AXPY, parents=[s, omega_s, t])
+        rho_new = b.node(_W_DOT, parents=[rhat, r])
+        beta = b.node(_W_SCALAR, parents=[rho_new, rho, alpha, omega_s])
+        p = b.node(_W_AXPY, parents=[r, beta, p, omega_s, v])
+        rho = rho_new
+    return b.dag
+
+
+def kmeans(
+    num_blocks: int = 3,
+    num_clusters: int = 2,
+    iterations: int = 3,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """Coarse-grained Lloyd's k-means task graph.
+
+    The data set is split into ``num_blocks`` blocks.  Per iteration and block
+    there is a distance-computation node and an assignment node; per cluster a
+    centroid-update node that reads every block's assignments.
+    """
+    b = _Builder(name or "k-means")
+    blocks = [b.node(_W_SCALAR) for _ in range(num_blocks)]
+    centroids = [b.node(_W_SCALAR) for _ in range(num_clusters)]
+    for _ in range(iterations):
+        assigns: List[int] = []
+        for blk in blocks:
+            dist = b.node(_W_DIST, parents=[blk] + centroids)
+            assign = b.node(_W_ASSIGN, parents=[dist, blk])
+            assigns.append(assign)
+        new_centroids: List[int] = []
+        for _c in range(num_clusters):
+            upd = b.node(_W_CENTROID, parents=assigns)
+            new_centroids.append(upd)
+        centroids = new_centroids
+    return b.dag
+
+
+def pregel(
+    num_partitions: int = 4,
+    supersteps: int = 4,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """Coarse-grained Pregel (vertex-centric BSP graph processing) task graph.
+
+    Each Pregel superstep has one vertex-compute node per graph partition, a
+    message-exchange node per partition (reading all compute nodes), and a
+    global aggregation node.
+    """
+    b = _Builder(name or "pregel")
+    parts = [b.node(_W_SCALAR) for _ in range(num_partitions)]
+    state = list(parts)
+    agg: Optional[int] = None
+    for _ in range(supersteps):
+        computes: List[int] = []
+        for st in state:
+            parents = [st] if agg is None else [st, agg]
+            computes.append(b.node(_W_VERTEX, parents=parents))
+        msgs: List[int] = []
+        for i in range(num_partitions):
+            msgs.append(b.node(_W_MSG, parents=computes))
+        agg = b.node(_W_AGG, parents=computes)
+        state = msgs
+    return b.dag

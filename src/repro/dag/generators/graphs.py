@@ -1,0 +1,129 @@
+"""Graph-computation workloads for the larger ("small") dataset.
+
+Two workload families appear in the paper's larger dataset that are not part
+of the fine-grained linear-algebra generators:
+
+* ``simple_pagerank``: block-partitioned PageRank iterations,
+* ``snni_graphchallenge``: sparse neural-network inference (the MIT/IEEE
+  Graph Challenge SNNI workload) — a sequence of sparse layer multiplications
+  followed by element-wise activations.
+
+Both are generated at a block granularity so the node counts land in the few
+hundred range used by the paper while keeping realistic dependency structure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.dag.graph import ComputationalDag
+
+_W_BLOCK_SPMV = 6
+_W_COMBINE = 2
+_W_DAMP = 1
+_W_LAYER_MM = 5
+_W_RELU = 1
+_W_BIAS = 1
+
+
+def simple_pagerank(
+    num_blocks: int = 8,
+    iterations: int = 6,
+    connectivity: float = 0.4,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """Block-partitioned PageRank iterations.
+
+    The web graph is split into ``num_blocks`` blocks.  One iteration has, per
+    destination block, one partial-SpMV node for every source block that links
+    into it (a random, seed-fixed block connectivity pattern), a combine node
+    summing the partials, and a damping/update node producing the block's new
+    rank vector.
+    """
+    rng = random.Random(seed)
+    # fixed block-level connectivity (always include the diagonal block)
+    links: List[List[int]] = []
+    for dst in range(num_blocks):
+        srcs = {dst}
+        for src in range(num_blocks):
+            if src != dst and rng.random() < connectivity:
+                srcs.add(src)
+        links.append(sorted(srcs))
+
+    dag = ComputationalDag(name=name or "simple_pagerank")
+    counter = [0]
+
+    def fresh(omega: float, mu: float = 1.0) -> int:
+        node = counter[0]
+        counter[0] += 1
+        dag.add_node(node, omega=omega, mu=mu)
+        return node
+
+    ranks = [fresh(1.0) for _ in range(num_blocks)]  # initial rank blocks
+    for _ in range(iterations):
+        new_ranks: List[int] = []
+        for dst in range(num_blocks):
+            partials = []
+            for src in links[dst]:
+                part = fresh(_W_BLOCK_SPMV)
+                dag.add_edge(ranks[src], part)
+                partials.append(part)
+            combine = fresh(_W_COMBINE)
+            for part in partials:
+                dag.add_edge(part, combine)
+            damp = fresh(_W_DAMP)
+            dag.add_edge(combine, damp)
+            new_ranks.append(damp)
+        ranks = new_ranks
+    return dag
+
+
+def snni_graphchallenge(
+    num_blocks: int = 6,
+    num_layers: int = 8,
+    connectivity: float = 0.35,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """Sparse neural-network inference (Graph Challenge SNNI) task graph.
+
+    The activation matrix is split column-wise into ``num_blocks`` blocks; each
+    of the ``num_layers`` sparse layers multiplies every activation block with
+    the (random, seed-fixed) non-zero weight blocks feeding it, adds the bias
+    and applies the ReLU.  The resulting DAG alternates wide multiplication
+    levels with narrow element-wise levels, exactly the shape that makes the
+    workload partitioning-friendly.
+    """
+    rng = random.Random(seed)
+    dag = ComputationalDag(name=name or "snni_graphchall.")
+    counter = [0]
+
+    def fresh(omega: float, mu: float = 1.0) -> int:
+        node = counter[0]
+        counter[0] += 1
+        dag.add_node(node, omega=omega, mu=mu)
+        return node
+
+    acts = [fresh(1.0) for _ in range(num_blocks)]  # input activation blocks
+    for _layer in range(num_layers):
+        new_acts: List[int] = []
+        for dst in range(num_blocks):
+            srcs = {dst}
+            for src in range(num_blocks):
+                if src != dst and rng.random() < connectivity:
+                    srcs.add(src)
+            partials = []
+            for src in sorted(srcs):
+                mm = fresh(_W_LAYER_MM)
+                dag.add_edge(acts[src], mm)
+                partials.append(mm)
+            bias = fresh(_W_BIAS)
+            for mm in partials:
+                dag.add_edge(mm, bias)
+            relu = fresh(_W_RELU)
+            dag.add_edge(bias, relu)
+            new_acts.append(relu)
+        acts = new_acts
+    return dag

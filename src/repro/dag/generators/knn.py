@@ -1,0 +1,79 @@
+"""Fine-grained k-nearest-neighbour computational DAGs ("kNN" instances).
+
+The benchmark's kNN instances model iterative label propagation over a fixed
+k-nearest-neighbour graph: in every iteration, each data point gathers the
+current values of its ``k`` neighbours, combines them (distance-weighted
+reduction) and updates its own value.  The DAG therefore consists of ``K``
+rounds; round ``t`` of point ``i`` depends on round ``t-1`` of ``i`` and of
+its neighbours.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.dag.graph import ComputationalDag
+
+_W_GATHER = 1
+_W_COMBINE = 2
+_W_UPDATE = 2
+
+
+def knn_iteration(
+    num_points: int,
+    iterations: int,
+    k: int = 2,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """Iterated k-NN label-propagation DAG.
+
+    Parameters
+    ----------
+    num_points:
+        Number of data points ``N``.
+    iterations:
+        Number of propagation rounds ``K``.
+    k:
+        Number of neighbours gathered per point and round.
+    """
+    if num_points < 2 or iterations < 1:
+        raise ValueError("need at least 2 points and 1 iteration")
+    k = min(k, num_points - 1)
+    rng = random.Random(seed)
+    # fixed random neighbour lists (the k-NN graph itself)
+    neighbours: List[List[int]] = []
+    for i in range(num_points):
+        others = [j for j in range(num_points) if j != i]
+        rng.shuffle(others)
+        neighbours.append(sorted(others[:k]))
+
+    dag = ComputationalDag(name=name or f"kNN_N{num_points}_K{iterations}")
+    counter = [0]
+
+    def fresh(omega: float, mu: float = 1.0) -> int:
+        node = counter[0]
+        counter[0] += 1
+        dag.add_node(node, omega=omega, mu=mu)
+        return node
+
+    current = [fresh(1.0) for _ in range(num_points)]  # initial labels (sources)
+    for _ in range(iterations):
+        nxt: List[int] = []
+        for i in range(num_points):
+            gathers = []
+            for j in neighbours[i]:
+                g = fresh(_W_GATHER)
+                dag.add_edge(current[j], g)
+                dag.add_edge(current[i], g)
+                gathers.append(g)
+            combine = fresh(_W_COMBINE)
+            for g in gathers:
+                dag.add_edge(g, combine)
+            update = fresh(_W_UPDATE)
+            dag.add_edge(combine, update)
+            dag.add_edge(current[i], update)
+            nxt.append(update)
+        current = nxt
+    return dag

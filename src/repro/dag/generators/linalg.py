@@ -1,0 +1,272 @@
+"""Fine-grained linear-algebra computational DAGs.
+
+These generators reproduce the structure of the fine-grained instances in the
+benchmark of Papp et al. [36] that the paper evaluates on:
+
+* ``spmv``: a single sparse matrix-vector multiplication ``y = A x``,
+* ``iterated_spmv`` ("exp" instances): ``y = A^K x`` computed as ``K`` chained
+  SpMV operations,
+* ``conjugate_gradient`` ("CG" instances): ``K`` iterations of the conjugate
+  gradient method on a 2-D grid Laplacian, expressed at the granularity of
+  individual multiply/add/axpy/dot operations.
+
+The exact sparsity patterns of the original dataset are not available; the
+generators build structurally analogous patterns (banded random sparsity for
+SpMV, 5-point stencil for CG) from a seed, which preserves the fan-in/fan-out
+and level structure that drives scheduling difficulty.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dag.graph import ComputationalDag
+
+# Compute-weight convention used across the fine-grained generators: a value
+# load / copy is weight 1, a multiply-add is weight 1-2, a division or square
+# root (in CG scalar updates) is slightly heavier.
+_W_MUL = 1
+_W_ADD = 1
+_W_AXPY = 2
+_W_DOT = 2
+_W_SCALAR = 3
+
+
+def _random_sparsity(
+    n: int,
+    extra_per_row: int,
+    bandwidth: int,
+    rng: random.Random,
+) -> List[List[int]]:
+    """Random banded sparsity pattern: row ``i`` -> sorted column indices.
+
+    Every row contains the diagonal plus up to ``extra_per_row`` additional
+    columns within ``bandwidth`` of the diagonal.
+    """
+    pattern: List[List[int]] = []
+    for i in range(n):
+        cols = {i}
+        lo, hi = max(0, i - bandwidth), min(n - 1, i + bandwidth)
+        candidates = [j for j in range(lo, hi + 1) if j != i]
+        rng.shuffle(candidates)
+        cols.update(candidates[:extra_per_row])
+        pattern.append(sorted(cols))
+    return pattern
+
+
+def _reduction_chain(
+    dag: ComputationalDag,
+    inputs: Sequence[int],
+    label: str,
+    counter: List[int],
+    omega: float = _W_ADD,
+    mu: float = 1.0,
+) -> int:
+    """Add a left-to-right chain of binary additions reducing ``inputs``.
+
+    Returns the node id holding the final sum.  A single input is returned
+    unchanged (no reduction node is created).
+    """
+    if not inputs:
+        raise ValueError("cannot reduce an empty input list")
+    acc = inputs[0]
+    for value in inputs[1:]:
+        node = counter[0]
+        counter[0] += 1
+        dag.add_node(node, omega=omega, mu=mu)
+        dag.add_edge(acc, node)
+        dag.add_edge(value, node)
+        acc = node
+    return acc
+
+
+def spmv(
+    n: int,
+    extra_per_row: int = 2,
+    bandwidth: int = 3,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """Fine-grained SpMV DAG ``y = A x`` for an ``n x n`` sparse matrix.
+
+    Nodes: one source per vector entry ``x_j``, one multiply node per
+    non-zero ``A_ij * x_j``, and a binary-addition reduction per row.  The
+    final reduction node of row ``i`` is the output ``y_i`` (a sink).
+    """
+    rng = random.Random(seed)
+    pattern = _random_sparsity(n, extra_per_row, bandwidth, rng)
+    dag = ComputationalDag(name=name or f"spmv_N{n}")
+    counter = [0]
+
+    def fresh(omega: float, mu: float = 1.0) -> int:
+        node = counter[0]
+        counter[0] += 1
+        dag.add_node(node, omega=omega, mu=mu)
+        return node
+
+    x_nodes = [fresh(1.0) for _ in range(n)]
+    for i in range(n):
+        products = []
+        for j in pattern[i]:
+            m = fresh(_W_MUL)
+            dag.add_edge(x_nodes[j], m)
+            products.append(m)
+        _reduction_chain(dag, products, f"y{i}", counter)
+    return dag
+
+
+def iterated_spmv(
+    n: int,
+    iterations: int,
+    extra_per_row: int = 2,
+    bandwidth: int = 3,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """Iterated SpMV DAG ``y = A^K x`` (the "exp" instances of the benchmark).
+
+    The same sparsity pattern is reused in every iteration; the outputs of
+    iteration ``k`` are the vector inputs of iteration ``k+1``.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be at least 1")
+    rng = random.Random(seed)
+    pattern = _random_sparsity(n, extra_per_row, bandwidth, rng)
+    dag = ComputationalDag(name=name or f"exp_N{n}_K{iterations}")
+    counter = [0]
+
+    def fresh(omega: float, mu: float = 1.0) -> int:
+        node = counter[0]
+        counter[0] += 1
+        dag.add_node(node, omega=omega, mu=mu)
+        return node
+
+    current = [fresh(1.0) for _ in range(n)]
+    for _ in range(iterations):
+        nxt: List[int] = []
+        for i in range(n):
+            products = []
+            for j in pattern[i]:
+                m = fresh(_W_MUL)
+                dag.add_edge(current[j], m)
+                products.append(m)
+            nxt.append(_reduction_chain(dag, products, f"y{i}", counter))
+        current = nxt
+    return dag
+
+
+def conjugate_gradient(
+    grid: int,
+    iterations: int,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """Fine-grained conjugate gradient DAG (the "CG" instances).
+
+    The linear system is the 5-point stencil Laplacian on a ``grid x grid``
+    mesh (``n = grid**2`` unknowns).  Each CG iteration consists of:
+
+    1. ``q = A p``          (one multiply per stencil entry + row reductions)
+    2. ``pq = p . q``        (dot product: per-entry multiplies + reduction)
+    3. ``alpha = rr / pq``   (scalar node)
+    4. ``x += alpha p``      (axpy, per entry)
+    5. ``r -= alpha q``      (axpy, per entry)
+    6. ``rr' = r . r``       (dot product)
+    7. ``beta = rr' / rr``   (scalar node)
+    8. ``p = r + beta p``    (axpy, per entry)
+
+    Sinks are the final ``x`` entries.  The structure (alternating global
+    reductions and embarrassingly parallel vector updates) is what makes CG a
+    hard instance for memory-constrained scheduling.
+    """
+    if grid < 1 or iterations < 1:
+        raise ValueError("grid and iterations must be at least 1")
+    rng = random.Random(seed)
+    n = grid * grid
+    dag = ComputationalDag(name=name or f"CG_N{grid}_K{iterations}")
+    counter = [0]
+
+    def fresh(omega: float, mu: float = 1.0) -> int:
+        node = counter[0]
+        counter[0] += 1
+        dag.add_node(node, omega=omega, mu=mu)
+        return node
+
+    def stencil_neighbors(idx: int) -> List[int]:
+        row, col = divmod(idx, grid)
+        out = [idx]
+        if row > 0:
+            out.append(idx - grid)
+        if row < grid - 1:
+            out.append(idx + grid)
+        if col > 0:
+            out.append(idx - 1)
+        if col < grid - 1:
+            out.append(idx + 1)
+        return out
+
+    # Initial vectors: x0 (implicitly zero, not represented), r0 = b, p0 = r0.
+    r = [fresh(1.0) for _ in range(n)]  # sources: right-hand side b
+    p = list(r)
+    x: List[Optional[int]] = [None] * n
+
+    # rr = r . r
+    def dot(a: Sequence[int], b: Sequence[int]) -> int:
+        prods = []
+        for ai, bi in zip(a, b):
+            m = fresh(_W_DOT)
+            dag.add_edge(ai, m)
+            if bi != ai:
+                dag.add_edge(bi, m)
+            prods.append(m)
+        return _reduction_chain(dag, prods, "dot", counter)
+
+    rr = dot(r, r)
+
+    for _ in range(iterations):
+        # q = A p (5-point stencil SpMV)
+        q: List[int] = []
+        for i in range(n):
+            prods = []
+            for j in stencil_neighbors(i):
+                m = fresh(_W_MUL)
+                dag.add_edge(p[j], m)
+                prods.append(m)
+            q.append(_reduction_chain(dag, prods, f"q{i}", counter))
+        # pq = p . q ; alpha = rr / pq
+        pq = dot(p, q)
+        alpha = fresh(_W_SCALAR)
+        dag.add_edge(pq, alpha)
+        dag.add_edge(rr, alpha)
+        # x += alpha p ; r -= alpha q
+        new_x: List[int] = []
+        new_r: List[int] = []
+        for i in range(n):
+            xi = fresh(_W_AXPY)
+            dag.add_edge(alpha, xi)
+            dag.add_edge(p[i], xi)
+            if x[i] is not None:
+                dag.add_edge(x[i], xi)
+            new_x.append(xi)
+            ri = fresh(_W_AXPY)
+            dag.add_edge(alpha, ri)
+            dag.add_edge(q[i], ri)
+            dag.add_edge(r[i], ri)
+            new_r.append(ri)
+        x = list(new_x)
+        # rr' = r . r ; beta = rr' / rr
+        rr_new = dot(new_r, new_r)
+        beta = fresh(_W_SCALAR)
+        dag.add_edge(rr_new, beta)
+        dag.add_edge(rr, beta)
+        # p = r + beta p
+        new_p: List[int] = []
+        for i in range(n):
+            pi = fresh(_W_AXPY)
+            dag.add_edge(beta, pi)
+            dag.add_edge(new_r[i], pi)
+            dag.add_edge(p[i], pi)
+            new_p.append(pi)
+        r, p, rr = new_r, new_p, rr_new
+    return dag

@@ -1,0 +1,164 @@
+"""Random DAG generators.
+
+Used for testing, property-based testing (hypothesis strategies build on
+these), and for stress-testing the schedulers on unstructured workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.dag.graph import ComputationalDag
+
+
+def random_layered_dag(
+    num_layers: int,
+    width: int,
+    edge_probability: float = 0.4,
+    seed: int = 0,
+    min_omega: int = 1,
+    max_omega: int = 5,
+    min_mu: int = 1,
+    max_mu: int = 5,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """A layered random DAG.
+
+    Nodes are arranged in ``num_layers`` layers of ``width`` nodes each; every
+    node in layer ``i > 0`` receives an edge from each node of layer ``i-1``
+    independently with probability ``edge_probability`` (at least one edge is
+    forced so that only layer-0 nodes are sources).
+    """
+    if num_layers < 1 or width < 1:
+        raise ValueError("num_layers and width must be at least 1")
+    rng = random.Random(seed)
+    dag = ComputationalDag(name=name or f"layered_L{num_layers}_W{width}_s{seed}")
+    layers = []
+    idx = 0
+    for layer in range(num_layers):
+        current = []
+        for _ in range(width):
+            dag.add_node(
+                idx,
+                omega=rng.randint(min_omega, max_omega),
+                mu=rng.randint(min_mu, max_mu),
+            )
+            current.append(idx)
+            idx += 1
+        layers.append(current)
+    for layer in range(1, num_layers):
+        for v in layers[layer]:
+            parents = [u for u in layers[layer - 1] if rng.random() < edge_probability]
+            if not parents:
+                parents = [rng.choice(layers[layer - 1])]
+            for u in parents:
+                dag.add_edge(u, v)
+    return dag
+
+
+def random_dag(
+    num_nodes: int,
+    edge_probability: float = 0.15,
+    seed: int = 0,
+    min_omega: int = 1,
+    max_omega: int = 5,
+    min_mu: int = 1,
+    max_mu: int = 5,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """An Erdős–Rényi-style random DAG over a random topological order.
+
+    Each forward pair ``(i, j)`` with ``i < j`` is connected independently
+    with probability ``edge_probability``.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be at least 1")
+    rng = random.Random(seed)
+    dag = ComputationalDag(name=name or f"random_n{num_nodes}_s{seed}")
+    for i in range(num_nodes):
+        dag.add_node(
+            i,
+            omega=rng.randint(min_omega, max_omega),
+            mu=rng.randint(min_mu, max_mu),
+        )
+    for j in range(1, num_nodes):
+        for i in range(j):
+            if rng.random() < edge_probability:
+                dag.add_edge(i, j)
+    return dag
+
+
+def random_tree(
+    num_nodes: int,
+    max_children: int = 3,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """A random in-tree (every node except the root has exactly one child).
+
+    In-trees model reduction computations; they are a classic easy case for
+    scheduling and a useful sanity check for pebbling strategies.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be at least 1")
+    rng = random.Random(seed)
+    dag = ComputationalDag(name=name or f"tree_n{num_nodes}_s{seed}")
+    for i in range(num_nodes):
+        dag.add_node(i, omega=rng.randint(1, 3), mu=rng.randint(1, 3))
+    # node 'num_nodes-1' is the root (sink); every other node points to a
+    # node with a larger index so the result is a DAG that is an in-tree.
+    child_count = {i: 0 for i in range(num_nodes)}
+    for i in range(num_nodes - 1):
+        candidates = [j for j in range(i + 1, num_nodes) if child_count[j] < max_children]
+        target = rng.choice(candidates) if candidates else num_nodes - 1
+        dag.add_edge(i, target)
+        child_count[target] += 1
+    return dag
+
+
+def chain_dag(
+    length: int,
+    omega: float = 1.0,
+    mu: float = 1.0,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """A simple chain ``0 -> 1 -> ... -> length-1`` with uniform weights."""
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    dag = ComputationalDag(name=name or f"chain_{length}")
+    for i in range(length):
+        dag.add_node(i, omega=omega, mu=mu)
+    for i in range(length - 1):
+        dag.add_edge(i, i + 1)
+    return dag
+
+
+def fork_join_dag(
+    width: int,
+    stages: int = 1,
+    omega: float = 1.0,
+    mu: float = 1.0,
+    name: Optional[str] = None,
+) -> ComputationalDag:
+    """Fork-join DAG: a source fans out to ``width`` nodes which join, repeated."""
+    if width < 1 or stages < 1:
+        raise ValueError("width and stages must be at least 1")
+    dag = ComputationalDag(name=name or f"forkjoin_w{width}_s{stages}")
+    idx = 0
+
+    def new_node() -> int:
+        nonlocal idx
+        dag.add_node(idx, omega=omega, mu=mu)
+        idx += 1
+        return idx - 1
+
+    prev_join = new_node()
+    for _ in range(stages):
+        branches = [new_node() for _ in range(width)]
+        join = new_node()
+        for b in branches:
+            dag.add_edge(prev_join, b)
+            dag.add_edge(b, join)
+        prev_join = join
+    return dag

@@ -1,0 +1,122 @@
+"""Serialization of computational DAGs.
+
+Two formats are supported:
+
+* a JSON document (``.json``) that stores node ids, weights and edges, and
+* a simple whitespace-separated text format (``.dag``) inspired by the
+  HyperDAG / Matrix-Market style files used by DAG-scheduling frameworks::
+
+      % comment lines start with '%'
+      <num_nodes> <num_edges>
+      <node_id> <omega> <mu>          (one line per node)
+      <tail_id> <head_id>             (one line per edge)
+
+Node ids in the text format must be integers ``0 .. num_nodes-1``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.dag.graph import ComputationalDag
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def dag_to_dict(dag: ComputationalDag) -> dict:
+    """Plain-dict representation (JSON-serializable if node ids are)."""
+    return {
+        "name": dag.name,
+        "nodes": [
+            {"id": v, "omega": dag.omega(v), "mu": dag.mu(v)} for v in dag.nodes
+        ],
+        "edges": [[u, v] for u, v in dag.edges()],
+    }
+
+
+def dag_from_dict(data: dict) -> ComputationalDag:
+    """Inverse of :func:`dag_to_dict`."""
+    dag = ComputationalDag(name=data.get("name", "dag"))
+    for nd in data["nodes"]:
+        dag.add_node(nd["id"], omega=nd.get("omega", 1.0), mu=nd.get("mu", 1.0))
+    for u, v in data.get("edges", []):
+        dag.add_edge(u, v)
+    return dag
+
+
+def save_json(dag: ComputationalDag, path: PathLike) -> None:
+    """Write ``dag`` to ``path`` as a JSON document."""
+    Path(path).write_text(json.dumps(dag_to_dict(dag), indent=2))
+
+
+def load_json(path: PathLike) -> ComputationalDag:
+    """Read a DAG previously written by :func:`save_json`."""
+    return dag_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# text format
+# ----------------------------------------------------------------------
+def save_text(dag: ComputationalDag, path: PathLike) -> None:
+    """Write ``dag`` in the simple text format (integer node ids required)."""
+    nodes = dag.nodes
+    index = {v: i for i, v in enumerate(nodes)}
+    lines = [f"% dag {dag.name}", f"{dag.num_nodes} {dag.num_edges}"]
+    for v in nodes:
+        lines.append(f"{index[v]} {dag.omega(v):g} {dag.mu(v):g}")
+    for u, v in dag.edges():
+        lines.append(f"{index[u]} {index[v]}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_text(path: PathLike, name: str | None = None) -> ComputationalDag:
+    """Read a DAG from the simple text format."""
+    raw = [
+        line.strip()
+        for line in Path(path).read_text().splitlines()
+        if line.strip() and not line.strip().startswith("%")
+    ]
+    if not raw:
+        raise GraphError(f"empty DAG file {path}")
+    header = raw[0].split()
+    if len(header) != 2:
+        raise GraphError(f"malformed header line {raw[0]!r} in {path}")
+    num_nodes, num_edges = int(header[0]), int(header[1])
+    expected = 1 + num_nodes + num_edges
+    if len(raw) != expected:
+        raise GraphError(
+            f"expected {expected} content lines in {path}, found {len(raw)}"
+        )
+    dag = ComputationalDag(name=name or Path(path).stem)
+    for line in raw[1 : 1 + num_nodes]:
+        parts = line.split()
+        if len(parts) != 3:
+            raise GraphError(f"malformed node line {line!r}")
+        dag.add_node(int(parts[0]), omega=float(parts[1]), mu=float(parts[2]))
+    for line in raw[1 + num_nodes :]:
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(f"malformed edge line {line!r}")
+        dag.add_edge(int(parts[0]), int(parts[1]))
+    return dag
+
+
+def save(dag: ComputationalDag, path: PathLike) -> None:
+    """Dispatch on file suffix: ``.json`` or anything else (text format)."""
+    if str(path).endswith(".json"):
+        save_json(dag, path)
+    else:
+        save_text(dag, path)
+
+
+def load(path: PathLike) -> ComputationalDag:
+    """Dispatch on file suffix: ``.json`` or anything else (text format)."""
+    if str(path).endswith(".json"):
+        return load_json(path)
+    return load_text(path)

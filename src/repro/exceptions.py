@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed computational DAGs (cycles, unknown nodes, ...)."""
+
+
+class CycleError(GraphError):
+    """Raised when a graph that must be acyclic contains a cycle."""
+
+
+class ScheduleError(ReproError):
+    """Raised for structurally malformed schedules."""
+
+
+class InvalidScheduleError(ScheduleError):
+    """Raised when a schedule violates the MBSP pebbling or memory rules."""
+
+
+class InfeasibleInstanceError(ReproError):
+    """Raised when an instance admits no valid schedule (e.g. ``r < r0``)."""
+
+
+class IlpError(ReproError):
+    """Raised for errors in ILP model construction."""
+
+
+class SolverError(IlpError):
+    """Raised when an ILP solver backend fails unexpectedly."""
+
+
+class InfeasibleModelError(SolverError):
+    """Raised when an ILP model is proven infeasible by the solver."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid user-supplied configuration values."""

@@ -1,0 +1,104 @@
+"""Reference values reported in the paper, used for side-by-side comparison.
+
+The absolute costs are not expected to match (different DAG instances,
+different ILP solver and time budget, different hardware — see DESIGN.md),
+but the *shape* of the comparison should: the holistic ILP never does worse
+than the two-stage baseline on the tiny dataset, the improvement shrinks at
+``r = r0`` and in the asynchronous model, and the divide-and-conquer method
+wins on partition-friendly DAGs while losing on the rest.
+"""
+
+from __future__ import annotations
+
+# Table 1 / Table 3 (columns: baseline, ILP) — synchronous cost, P=4, r=3*r0
+TABLE1 = {
+    "bicgstab": (197, 181),
+    "k-means": (158, 106),
+    "pregel": (206, 152),
+    "spmv_N6": (123, 79),
+    "spmv_N7": (120, 77),
+    "spmv_N10": (159, 96),
+    "CG_N2_K2": (283, 267),
+    "CG_N3_K1": (199, 195),
+    "CG_N4_K1": (229, 208),
+    "exp_N4_K2": (149, 91),
+    "exp_N5_K3": (185, 144),
+    "exp_N6_K4": (169, 168),
+    "kNN_N4_K3": (179, 132),
+    "kNN_N5_K3": (167, 108),
+    "kNN_N6_K4": (180, 173),
+}
+
+# Table 3 extra columns: weak baseline (Cilk+LRU), BSP-ILP baseline, BSP-ILP + our ILP
+TABLE3_EXTRA = {
+    "bicgstab": (212, 135, 122),
+    "k-means": (163, 100, 98),
+    "pregel": (210, 160, 145),
+    "spmv_N6": (166, 92, 79),
+    "spmv_N7": (138, 92, 75),
+    "spmv_N10": (190, 111, 94),
+    "CG_N2_K2": (310, 214, 194),
+    "CG_N3_K1": (263, 287, 281),
+    "CG_N4_K1": (268, 324, 314),
+    "exp_N4_K2": (152, 104, 90),
+    "exp_N5_K3": (251, 214, 147),
+    "exp_N6_K4": (225, 210, 200),
+    "kNN_N4_K3": (170, 132, 108),
+    "kNN_N5_K3": (192, 144, 108),
+    "kNN_N6_K4": (241, 181, 178),
+}
+
+# Table 4 (baseline / ILP) for the alternative configurations
+TABLE4 = {
+    "r5":   {"bicgstab": (197, 146), "k-means": (158, 124), "pregel": (206, 148),
+             "spmv_N6": (123, 79), "spmv_N7": (120, 75), "spmv_N10": (159, 96),
+             "CG_N2_K2": (283, 193), "CG_N3_K1": (199, 194), "CG_N4_K1": (229, 219),
+             "exp_N4_K2": (149, 95), "exp_N5_K3": (185, 166), "exp_N6_K4": (169, 167),
+             "kNN_N4_K3": (179, 110), "kNN_N5_K3": (167, 120), "kNN_N6_K4": (180, 178)},
+    "r1":   {"bicgstab": (221, 213), "k-means": (176, 173), "pregel": (222, 222),
+             "spmv_N6": (167, 116), "spmv_N7": (134, 132), "spmv_N10": (215, 215),
+             "CG_N2_K2": (366, 366), "CG_N3_K1": (343, 341), "CG_N4_K1": (343, 343),
+             "exp_N4_K2": (201, 195), "exp_N5_K3": (261, 261), "exp_N6_K4": (257, 254),
+             "kNN_N4_K3": (242, 242), "kNN_N5_K3": (213, 212), "kNN_N6_K4": (302, 297)},
+    "p8":   {"bicgstab": (176, 173), "k-means": (156, 102), "pregel": (160, 138),
+             "spmv_N6": (104, 75), "spmv_N7": (83, 68), "spmv_N10": (124, 69),
+             "CG_N2_K2": (295, 291), "CG_N3_K1": (176, 176), "CG_N4_K1": (205, 202),
+             "exp_N4_K2": (138, 84), "exp_N5_K3": (185, 182), "exp_N6_K4": (165, 165),
+             "kNN_N4_K3": (143, 105), "kNN_N5_K3": (162, 101), "kNN_N6_K4": (190, 190)},
+    "L0":   {"bicgstab": (117, 89), "k-means": (88, 74), "pregel": (146, 142),
+             "spmv_N6": (83, 55), "spmv_N7": (80, 55), "spmv_N10": (119, 80),
+             "CG_N2_K2": (163, 152), "CG_N3_K1": (129, 116), "CG_N4_K1": (159, 151),
+             "exp_N4_K2": (89, 80), "exp_N5_K3": (115, 110), "exp_N6_K4": (99, 97),
+             "kNN_N4_K3": (109, 95), "kNN_N5_K3": (107, 94), "kNN_N6_K4": (120, 111)},
+    "async": {"bicgstab": (92, 83), "k-means": (75, 68), "pregel": (135, 118),
+              "spmv_N6": (70, 54), "spmv_N7": (66, 50), "spmv_N10": (104, 79),
+              "CG_N2_K2": (133, 133), "CG_N3_K1": (112, 107), "CG_N4_K1": (122, 122),
+              "exp_N4_K2": (71, 67), "exp_N5_K3": (89, 89), "exp_N6_K4": (83, 80),
+              "kNN_N4_K3": (78, 76), "kNN_N5_K3": (86, 84), "kNN_N6_K4": (87, 87)},
+}
+
+# Table 2 (baseline / divide-and-conquer ILP) on the larger dataset, r = 5*r0
+TABLE2 = {
+    "simple_pagerank": (1017, 779),
+    "snni_graphchall.": (1531, 912),
+    "spmv_N25": (425, 314),
+    "spmv_N35": (685, 518),
+    "CG_N5_K4": (847, 750),
+    "CG_N7_K2": (701, 701),
+    "exp_N10_K8": (573, 727),
+    "exp_N15_K4": (512, 660),
+    "kNN_N10_K8": (594, 682),
+    "kNN_N15_K4": (517, 655),
+}
+
+# Section 7.2 geometric-mean cost-reduction factors (ILP cost / baseline cost)
+GEOMEAN_RATIOS = {
+    "base": 0.77,
+    "r5": 0.76,
+    "r1": 0.97,
+    "p8": 0.82,
+    "L0": 0.85,
+    "async": 0.91,
+    "vs_bsp_ilp": 0.88,
+    "vs_cilk_lru": 0.66,
+}

@@ -1,0 +1,238 @@
+"""Experiment runner: schedules benchmark instances and collects costs.
+
+All experiment functions in :mod:`repro.experiments.tables` and ``figures``
+are thin wrappers around :func:`run_instance` / :func:`run_dataset`, which
+execute the two-stage baselines and the ILP-based schedulers on one instance
+and record the costs, improvement ratios and solver diagnostics.
+
+Environment knobs (respected by the default configuration):
+
+* ``REPRO_ILP_TIME_LIMIT`` — per-ILP-solve time limit in seconds (default 10);
+* ``REPRO_BENCH_SCALE`` — ``default`` or ``paper`` dataset scale;
+* ``REPRO_BENCH_LIMIT`` — only run the first N instances of each dataset.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.dag.graph import ComputationalDag
+from repro.ilp import SolverOptions
+from repro.model.instance import MbspInstance, make_instance
+from repro.core.full_ilp import MbspIlpConfig
+from repro.core.scheduler import MbspIlpScheduler
+from repro.core.two_stage import baseline_schedule, run_two_stage
+from repro.core.divide_conquer import DivideAndConquerScheduler
+from repro.core.acyclic_partition import PartitionConfig
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, default))
+    except (TypeError, ValueError):
+        return default
+
+
+def _env_int(name: str, default: Optional[int]) -> Optional[int]:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        return default
+
+
+@dataclass
+class ExperimentConfig:
+    """Parameters of one experimental configuration (one column of Figure 4).
+
+    The defaults reproduce the paper's base case: ``P = 4``, ``r = 3 * r0``,
+    ``g = 1``, ``L = 10``, synchronous cost model.
+    """
+
+    name: str = "base"
+    num_processors: int = 4
+    cache_factor: float = 3.0
+    g: float = 1.0
+    L: float = 10.0
+    synchronous: bool = True
+    allow_recomputation: bool = True
+    ilp_time_limit: float = field(default_factory=lambda: _env_float("REPRO_ILP_TIME_LIMIT", 10.0))
+    step_cap: Optional[int] = None
+    seed: int = 0
+
+    def instance_for(self, dag: ComputationalDag) -> MbspInstance:
+        return make_instance(
+            dag,
+            num_processors=self.num_processors,
+            cache_factor=self.cache_factor,
+            g=self.g,
+            L=self.L,
+        )
+
+    def ilp_config(self) -> MbspIlpConfig:
+        return MbspIlpConfig(
+            synchronous=self.synchronous,
+            allow_recomputation=self.allow_recomputation,
+            max_steps=self.step_cap,
+            solver_options=SolverOptions(time_limit=self.ilp_time_limit),
+        )
+
+    def variant(self, **changes) -> "ExperimentConfig":
+        """A copy of this configuration with some fields changed."""
+        return replace(self, **changes)
+
+
+@dataclass
+class InstanceResult:
+    """Costs collected for one benchmark instance under one configuration."""
+
+    instance_name: str
+    num_nodes: int
+    baseline_cost: float
+    ilp_cost: float
+    solver_status: str = ""
+    solve_time: float = 0.0
+    extra_costs: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """ILP cost over baseline cost (<= 1 means the ILP improved)."""
+        if self.baseline_cost == 0:
+            return 1.0
+        return self.ilp_cost / self.baseline_cost
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (1.0 for an empty sequence)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 1.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_instance(dag: ComputationalDag, config: ExperimentConfig) -> InstanceResult:
+    """Run the main comparison (two-stage baseline vs. full ILP) on one DAG."""
+    instance = config.instance_for(dag)
+    base = baseline_schedule(instance, synchronous=config.synchronous, seed=config.seed)
+    scheduler = MbspIlpScheduler(config.ilp_config())
+    result = scheduler.schedule(instance, baseline=base)
+    return InstanceResult(
+        instance_name=dag.name,
+        num_nodes=dag.num_nodes,
+        baseline_cost=base.cost,
+        ilp_cost=result.best_cost,
+        solver_status=result.solver_status,
+        solve_time=result.solve_time,
+    )
+
+
+def run_dataset(
+    dags: Sequence[ComputationalDag],
+    config: ExperimentConfig,
+    verbose: bool = False,
+) -> List[InstanceResult]:
+    """Run :func:`run_instance` over a dataset."""
+    results = []
+    for dag in dags:
+        start = time.perf_counter()
+        result = run_instance(dag, config)
+        if verbose:  # pragma: no cover - console convenience
+            print(
+                f"  {dag.name:<18s} base={result.baseline_cost:8.1f} "
+                f"ilp={result.ilp_cost:8.1f} ratio={result.ratio:.2f} "
+                f"[{time.perf_counter() - start:.1f}s]"
+            )
+        results.append(result)
+    return results
+
+
+def run_instance_with_baselines(dag: ComputationalDag, config: ExperimentConfig) -> InstanceResult:
+    """The Table 3 comparison: all baselines plus ILPs started from each.
+
+    Collected extra costs: ``weak`` (Cilk + LRU), ``bsp_ilp`` (ILP-based BSP
+    scheduler + clairvoyant), ``bsp_ilp_plus_ilp`` (our ILP initialised with
+    the stronger baseline).
+    """
+    instance = config.instance_for(dag)
+    base = baseline_schedule(instance, synchronous=config.synchronous, seed=config.seed)
+    scheduler = MbspIlpScheduler(config.ilp_config())
+    main = scheduler.schedule(instance, baseline=base)
+
+    weak = run_two_stage(
+        instance, scheduler="cilk", policy="lru", synchronous=config.synchronous, seed=config.seed
+    )
+    from repro.bsp.ilp import BspIlpConfig
+
+    bsp_ilp_base = run_two_stage(
+        instance,
+        scheduler="bsp-ilp",
+        policy="clairvoyant",
+        synchronous=config.synchronous,
+        seed=config.seed,
+        bsp_ilp_config=BspIlpConfig(
+            solver_options=SolverOptions(time_limit=max(config.ilp_time_limit / 2, 2.0))
+        ),
+    )
+    stronger = scheduler.schedule(instance, baseline=bsp_ilp_base)
+
+    return InstanceResult(
+        instance_name=dag.name,
+        num_nodes=dag.num_nodes,
+        baseline_cost=base.cost,
+        ilp_cost=main.best_cost,
+        solver_status=main.solver_status,
+        solve_time=main.solve_time,
+        extra_costs={
+            "weak": weak.cost,
+            "bsp_ilp": bsp_ilp_base.cost,
+            "bsp_ilp_plus_ilp": stronger.best_cost,
+        },
+    )
+
+
+def run_divide_and_conquer_instance(
+    dag: ComputationalDag,
+    config: ExperimentConfig,
+    max_part_size: int = 22,
+    partition_time_limit: float = 3.0,
+) -> InstanceResult:
+    """The Table 2 comparison: two-stage baseline vs. divide-and-conquer ILP.
+
+    Unlike the warm-started full ILP, the divide-and-conquer schedule is
+    reported as-is (it can be worse than the baseline, as in the paper).
+    """
+    instance = config.instance_for(dag)
+    base = baseline_schedule(instance, synchronous=config.synchronous, seed=config.seed)
+    scheduler = DivideAndConquerScheduler(
+        ilp_config=config.ilp_config(),
+        partition_config=PartitionConfig(
+            max_part_size=max_part_size,
+            solver_options=SolverOptions(time_limit=partition_time_limit),
+        ),
+    )
+    result = scheduler.schedule(instance, baseline=base)
+    return InstanceResult(
+        instance_name=dag.name,
+        num_nodes=dag.num_nodes,
+        baseline_cost=base.cost,
+        ilp_cost=result.dac_cost,
+        solver_status="divide-and-conquer",
+        extra_costs={"parts": float(result.partition.num_parts)},
+    )
+
+
+def dataset_scale() -> str:
+    """The dataset scale selected through ``REPRO_BENCH_SCALE``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    return scale if scale in ("default", "paper") else "default"
+
+
+def dataset_limit() -> Optional[int]:
+    """Optional instance-count limit from ``REPRO_BENCH_LIMIT``."""
+    return _env_int("REPRO_BENCH_LIMIT", None)

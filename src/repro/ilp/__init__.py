@@ -1,0 +1,40 @@
+"""Self-contained ILP modeling layer and solver backends.
+
+The :class:`IlpModel` / :class:`Variable` / :func:`lin_sum` API is a minimal
+PuLP-like modeling layer; models are solved either through
+:func:`solve_with_scipy` (HiGHS via ``scipy.optimize.milp``, the default) or
+through the pure-Python :func:`solve_with_branch_and_bound` fallback.
+"""
+
+from repro.ilp.expr import INF, Constraint, LinExpr, Variable, lin_sum
+from repro.ilp.model import CompiledModel, IlpModel, Sense
+from repro.ilp.solution import IlpSolution, SolutionStatus
+from repro.ilp.scipy_backend import SolverOptions, solve_with_scipy
+from repro.ilp.branch_and_bound import solve_with_branch_and_bound
+
+
+def solve(model: IlpModel, options: SolverOptions | None = None, backend: str = "scipy") -> IlpSolution:
+    """Solve ``model`` with the selected backend (``"scipy"`` or ``"bnb"``)."""
+    if backend == "scipy":
+        return solve_with_scipy(model, options)
+    if backend in ("bnb", "branch_and_bound"):
+        return solve_with_branch_and_bound(model, options)
+    raise ValueError(f"unknown ILP backend {backend!r}")
+
+
+__all__ = [
+    "INF",
+    "Constraint",
+    "LinExpr",
+    "Variable",
+    "lin_sum",
+    "CompiledModel",
+    "IlpModel",
+    "Sense",
+    "IlpSolution",
+    "SolutionStatus",
+    "SolverOptions",
+    "solve",
+    "solve_with_scipy",
+    "solve_with_branch_and_bound",
+]

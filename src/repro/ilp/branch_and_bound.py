@@ -1,0 +1,202 @@
+"""A pure-Python branch-and-bound MILP solver.
+
+This backend exists for two reasons: it is a dependency-free fallback when
+the HiGHS MILP interface is unavailable, and it is useful in tests because
+its behaviour is fully transparent.  It solves LP relaxations with
+``scipy.optimize.linprog`` (HiGHS LP) and branches on the most fractional
+integer variable, using best-first search with incumbent pruning.
+
+It is intended for *small* models only (up to a few hundred integer
+variables); the main experiments use the :mod:`repro.ilp.scipy_backend`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.ilp.model import CompiledModel, IlpModel, Sense
+from repro.ilp.scipy_backend import SolverOptions
+from repro.ilp.solution import IlpSolution, SolutionStatus
+
+_INT_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    """A branch-and-bound node: extra variable bounds on top of the root LP."""
+
+    bound: float
+    counter: int
+    lower: np.ndarray = field(compare=False)
+    upper: np.ndarray = field(compare=False)
+
+
+def _split_constraints(compiled: CompiledModel):
+    """Convert two-sided row bounds into the A_ub / A_eq form of ``linprog``."""
+    if compiled.A.shape[0] == 0:
+        return None, None, None, None
+    lb, ub = compiled.con_lb, compiled.con_ub
+    eq_mask = np.isfinite(lb) & np.isfinite(ub) & (np.abs(ub - lb) < 1e-12)
+    ub_mask = np.isfinite(ub) & ~eq_mask
+    lb_mask = np.isfinite(lb) & ~eq_mask
+
+    A_eq = compiled.A[eq_mask] if eq_mask.any() else None
+    b_eq = ub[eq_mask] if eq_mask.any() else None
+
+    ub_rows = []
+    ub_rhs = []
+    if ub_mask.any():
+        ub_rows.append(compiled.A[ub_mask])
+        ub_rhs.append(ub[ub_mask])
+    if lb_mask.any():
+        ub_rows.append(-compiled.A[lb_mask])
+        ub_rhs.append(-lb[lb_mask])
+    if ub_rows:
+        A_ub = sparse.vstack(ub_rows)
+        b_ub = np.concatenate(ub_rhs)
+    else:
+        A_ub, b_ub = None, None
+    return A_ub, b_ub, A_eq, b_eq
+
+
+def _solve_lp(compiled: CompiledModel, lower: np.ndarray, upper: np.ndarray,
+              split=None):
+    """Solve the LP relaxation with the given variable bounds."""
+    if split is None:
+        split = _split_constraints(compiled)
+    A_ub, b_ub, A_eq, b_eq = split
+    bounds = list(zip(lower, np.where(np.isfinite(upper), upper, None)))
+    bounds = [
+        (lo, None if up is None or up == float("inf") else up) for lo, up in bounds
+    ]
+    res = optimize.linprog(
+        c=compiled.c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    return res
+
+
+def _most_fractional(values: np.ndarray, integrality: np.ndarray) -> Optional[int]:
+    """Index of the integer variable whose value is farthest from integral."""
+    best_idx, best_frac = None, _INT_TOL
+    for idx in np.nonzero(integrality)[0]:
+        frac = abs(values[idx] - round(values[idx]))
+        if frac > best_frac:
+            best_frac = frac
+            best_idx = int(idx)
+    return best_idx
+
+
+def solve_with_branch_and_bound(
+    model: IlpModel, options: Optional[SolverOptions] = None
+) -> IlpSolution:
+    """Solve ``model`` by LP-based branch and bound.
+
+    Returns the best incumbent found within the time/node limits; the status
+    is ``OPTIMAL`` only when the search tree was exhausted.
+    """
+    options = options or SolverOptions()
+    compiled = model.compile()
+    start = time.perf_counter()
+    deadline = None if options.time_limit is None else start + options.time_limit
+    node_limit = options.node_limit or 100_000
+
+    sign = 1.0 if compiled.sense is Sense.MINIMIZE else -1.0
+
+    incumbent: Optional[np.ndarray] = None
+    incumbent_obj = math.inf
+    counter = itertools.count()
+    explored = 0
+    exhausted = True
+
+    split = _split_constraints(compiled)
+
+    root = _Node(
+        bound=-math.inf,
+        counter=next(counter),
+        lower=compiled.var_lb.astype(float).copy(),
+        upper=compiled.var_ub.astype(float).copy(),
+    )
+    heap: List[_Node] = [root]
+
+    while heap:
+        if deadline is not None and time.perf_counter() > deadline:
+            exhausted = False
+            break
+        if explored >= node_limit:
+            exhausted = False
+            break
+        node = heapq.heappop(heap)
+        if node.bound >= incumbent_obj - 1e-9:
+            continue
+        res = _solve_lp(compiled, node.lower, node.upper, split=split)
+        explored += 1
+        if res.status != 0 or res.x is None:
+            continue  # infeasible or failed subproblem: prune
+        lp_obj = float(res.fun)
+        if lp_obj >= incumbent_obj - 1e-9:
+            continue
+        branch_var = _most_fractional(res.x, compiled.integrality)
+        if branch_var is None:
+            # integral solution: new incumbent
+            values = res.x.copy()
+            int_idx = np.nonzero(compiled.integrality)[0]
+            values[int_idx] = np.round(values[int_idx])
+            if lp_obj < incumbent_obj:
+                incumbent = values
+                incumbent_obj = lp_obj
+            continue
+        value = res.x[branch_var]
+        # branch down
+        down = _Node(
+            bound=lp_obj,
+            counter=next(counter),
+            lower=node.lower.copy(),
+            upper=node.upper.copy(),
+        )
+        down.upper[branch_var] = math.floor(value)
+        # branch up
+        up = _Node(
+            bound=lp_obj,
+            counter=next(counter),
+            lower=node.lower.copy(),
+            upper=node.upper.copy(),
+        )
+        up.lower[branch_var] = math.ceil(value)
+        if down.lower[branch_var] <= down.upper[branch_var]:
+            heapq.heappush(heap, down)
+        if up.lower[branch_var] <= up.upper[branch_var]:
+            heapq.heappush(heap, up)
+
+    elapsed = time.perf_counter() - start
+    if incumbent is None:
+        status = SolutionStatus.INFEASIBLE if exhausted else SolutionStatus.NO_SOLUTION
+        return IlpSolution(
+            status=status,
+            solve_time=elapsed,
+            node_count=explored,
+            message="branch-and-bound finished without an incumbent",
+        )
+    objective = sign * incumbent_obj + compiled.objective_constant
+    status = SolutionStatus.OPTIMAL if exhausted else SolutionStatus.FEASIBLE
+    return IlpSolution(
+        status=status,
+        objective=objective,
+        values=incumbent,
+        solve_time=elapsed,
+        node_count=explored,
+        message="branch-and-bound",
+    )

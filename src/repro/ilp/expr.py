@@ -1,0 +1,217 @@
+"""Linear expressions and variables for the ILP modeling layer.
+
+The modeling layer is a small, self-contained replacement for libraries such
+as PuLP: variables, linear expressions and constraints are built with natural
+Python arithmetic and comparison operators, and the resulting model is
+compiled into the sparse-matrix form expected by the solver backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from repro.exceptions import IlpError
+
+Number = Union[int, float]
+INF = float("inf")
+
+
+class Variable:
+    """A decision variable (continuous, integer or binary).
+
+    Variables are created through :class:`~repro.ilp.model.IlpModel`; they
+    carry their index in the model's variable vector so expressions can be
+    compiled to sparse arrays without lookups.
+    """
+
+    __slots__ = ("index", "name", "lower", "upper", "is_integer")
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        lower: float = 0.0,
+        upper: float = INF,
+        is_integer: bool = False,
+    ) -> None:
+        if lower > upper:
+            raise IlpError(f"variable {name!r}: lower bound {lower} exceeds upper bound {upper}")
+        self.index = index
+        self.name = name
+        self.lower = float(lower)
+        self.upper = float(upper)
+        self.is_integer = bool(is_integer)
+
+    # arithmetic: promote to LinExpr ------------------------------------
+    def _expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    def __add__(self, other) -> "LinExpr":
+        return self._expr() + other
+
+    def __radd__(self, other) -> "LinExpr":
+        return self._expr() + other
+
+    def __sub__(self, other) -> "LinExpr":
+        return self._expr() - other
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (-1.0 * self._expr()) + other
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        return self._expr() * other
+
+    def __rmul__(self, other: Number) -> "LinExpr":
+        return self._expr() * other
+
+    def __neg__(self) -> "LinExpr":
+        return self._expr() * -1.0
+
+    # comparisons: build constraints ------------------------------------
+    def __le__(self, other) -> "Constraint":
+        return self._expr() <= other
+
+    def __ge__(self, other) -> "Constraint":
+        return self._expr() >= other
+
+    def __eq__(self, other) -> "Constraint":  # type: ignore[override]
+        return self._expr() == other
+
+    def __hash__(self) -> int:
+        return hash((id(type(self)), self.index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "int" if self.is_integer else "cont"
+        return f"Variable({self.name!r}, {kind}, [{self.lower}, {self.upper}])"
+
+
+class LinExpr:
+    """A linear expression ``sum_i coeff_i * x_i + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Optional[Mapping[int, float]] = None, constant: float = 0.0) -> None:
+        self.coeffs: Dict[int, float] = dict(coeffs or {})
+        self.constant = float(constant)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return value._expr()
+        if isinstance(value, (int, float)):
+            return LinExpr({}, float(value))
+        raise IlpError(f"cannot use {value!r} in a linear expression")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.coeffs), self.constant)
+
+    # in-place accumulation (used by the model builders for speed) ------
+    def add_term(self, var: Variable, coeff: float) -> "LinExpr":
+        """Add ``coeff * var`` in place and return self."""
+        if coeff:
+            self.coeffs[var.index] = self.coeffs.get(var.index, 0.0) + coeff
+        return self
+
+    def add_constant(self, value: float) -> "LinExpr":
+        self.constant += value
+        return self
+
+    def add_expr(self, other: "LinExpr", scale: float = 1.0) -> "LinExpr":
+        for idx, coeff in other.coeffs.items():
+            self.coeffs[idx] = self.coeffs.get(idx, 0.0) + scale * coeff
+        self.constant += scale * other.constant
+        return self
+
+    # arithmetic ---------------------------------------------------------
+    def __add__(self, other) -> "LinExpr":
+        out = self.copy()
+        out.add_expr(LinExpr._coerce(other))
+        return out
+
+    def __radd__(self, other) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "LinExpr":
+        out = self.copy()
+        out.add_expr(LinExpr._coerce(other), scale=-1.0)
+        return out
+
+    def __rsub__(self, other) -> "LinExpr":
+        out = LinExpr._coerce(other).copy()
+        out.add_expr(self, scale=-1.0)
+        return out
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        if not isinstance(other, (int, float)):
+            raise IlpError("linear expressions can only be multiplied by scalars")
+        return LinExpr({k: v * other for k, v in self.coeffs.items()}, self.constant * other)
+
+    def __rmul__(self, other: Number) -> "LinExpr":
+        return self.__mul__(other)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # comparisons --------------------------------------------------------
+    def __le__(self, other) -> "Constraint":
+        diff = self - LinExpr._coerce(other)
+        return Constraint(diff, -INF, 0.0)
+
+    def __ge__(self, other) -> "Constraint":
+        diff = self - LinExpr._coerce(other)
+        return Constraint(diff, 0.0, INF)
+
+    def __eq__(self, other) -> "Constraint":  # type: ignore[override]
+        diff = self - LinExpr._coerce(other)
+        return Constraint(diff, 0.0, 0.0)
+
+    def __hash__(self) -> int:  # expressions are mutable; identity hash
+        return id(self)
+
+    def value(self, values) -> float:
+        """Evaluate the expression for a variable-value vector or mapping."""
+        total = self.constant
+        for idx, coeff in self.coeffs.items():
+            total += coeff * values[idx]
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coeffs.items()))
+        return f"LinExpr({terms} + {self.constant:g})"
+
+
+def lin_sum(items: Iterable) -> LinExpr:
+    """Sum an iterable of variables / expressions / numbers into one LinExpr."""
+    out = LinExpr()
+    for item in items:
+        if isinstance(item, Variable):
+            out.add_term(item, 1.0)
+        elif isinstance(item, LinExpr):
+            out.add_expr(item)
+        elif isinstance(item, (int, float)):
+            out.add_constant(float(item))
+        else:
+            raise IlpError(f"cannot sum {item!r}")
+    return out
+
+
+@dataclass
+class Constraint:
+    """A two-sided linear constraint ``lower <= expr <= upper``.
+
+    The expression's constant term is folded into the bounds when the model
+    is compiled.
+    """
+
+    expr: LinExpr
+    lower: float
+    upper: float
+    name: str = ""
+
+    def with_name(self, name: str) -> "Constraint":
+        self.name = name
+        return self

@@ -1,0 +1,193 @@
+"""The ILP model container and its compilation to sparse-matrix form."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import IlpError
+from repro.ilp.expr import INF, Constraint, LinExpr, Variable, lin_sum
+
+
+class Sense(enum.Enum):
+    """Optimization direction."""
+
+    MINIMIZE = 1
+    MAXIMIZE = -1
+
+
+@dataclass
+class CompiledModel:
+    """Arrays describing the model in the form consumed by solver backends.
+
+    ``A`` is a CSR matrix of constraint coefficients; the model is
+    ``minimize c @ x`` subject to ``con_lb <= A x <= con_ub`` and
+    ``var_lb <= x <= var_ub`` with ``x_i`` integer where ``integrality_i = 1``.
+    (Maximization objectives are compiled by negating ``c``.)
+    """
+
+    c: np.ndarray
+    A: sparse.csr_matrix
+    con_lb: np.ndarray
+    con_ub: np.ndarray
+    var_lb: np.ndarray
+    var_ub: np.ndarray
+    integrality: np.ndarray
+    objective_constant: float
+    sense: Sense
+
+
+class IlpModel:
+    """A mixed-integer linear program under construction.
+
+    Example
+    -------
+    >>> m = IlpModel("example")
+    >>> x = m.add_binary("x")
+    >>> y = m.add_continuous("y", lower=0, upper=10)
+    >>> m.add_constraint(2 * x + y <= 5)
+    >>> m.minimize(y - 3 * x)
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._sense: Sense = Sense.MINIMIZE
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def _add_variable(self, name: str, lower: float, upper: float, is_integer: bool) -> Variable:
+        var = Variable(len(self.variables), name, lower, upper, is_integer)
+        self.variables.append(var)
+        return var
+
+    def add_binary(self, name: str) -> Variable:
+        """Add a binary (0/1) variable."""
+        return self._add_variable(name, 0.0, 1.0, True)
+
+    def add_integer(self, name: str, lower: float = 0.0, upper: float = INF) -> Variable:
+        """Add a general integer variable."""
+        return self._add_variable(name, lower, upper, True)
+
+    def add_continuous(self, name: str, lower: float = 0.0, upper: float = INF) -> Variable:
+        """Add a continuous variable."""
+        return self._add_variable(name, lower, upper, False)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def num_binary_variables(self) -> int:
+        return sum(1 for v in self.variables if v.is_integer and v.upper <= 1.0)
+
+    # ------------------------------------------------------------------
+    # constraints and objective
+    # ------------------------------------------------------------------
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Add a constraint built with ``<=``, ``>=`` or ``==``."""
+        if not isinstance(constraint, Constraint):
+            raise IlpError(
+                "add_constraint expects a Constraint (built from a comparison of "
+                f"linear expressions), got {constraint!r}"
+            )
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> None:
+        for con in constraints:
+            self.add_constraint(con)
+
+    def minimize(self, expr) -> None:
+        """Set a minimization objective."""
+        self._objective = LinExpr._coerce(expr).copy()
+        self._sense = Sense.MINIMIZE
+
+    def maximize(self, expr) -> None:
+        """Set a maximization objective."""
+        self._objective = LinExpr._coerce(expr).copy()
+        self._sense = Sense.MAXIMIZE
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    @property
+    def sense(self) -> Sense:
+        return self._sense
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledModel:
+        """Compile to the sparse arrays used by the solver backends."""
+        n = len(self.variables)
+        c = np.zeros(n)
+        for idx, coeff in self._objective.coeffs.items():
+            c[idx] = coeff
+        if self._sense is Sense.MAXIMIZE:
+            c = -c
+
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        con_lb = np.empty(len(self.constraints))
+        con_ub = np.empty(len(self.constraints))
+        for i, con in enumerate(self.constraints):
+            for idx, coeff in con.expr.coeffs.items():
+                if coeff:
+                    rows.append(i)
+                    cols.append(idx)
+                    vals.append(coeff)
+            # fold the expression constant into the bounds
+            con_lb[i] = con.lower - con.expr.constant if con.lower != -INF else -INF
+            con_ub[i] = con.upper - con.expr.constant if con.upper != INF else INF
+        A = sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(len(self.constraints), n), dtype=float
+        )
+        var_lb = np.array([v.lower for v in self.variables])
+        var_ub = np.array([v.upper for v in self.variables])
+        integrality = np.array([1 if v.is_integer else 0 for v in self.variables])
+        return CompiledModel(
+            c=c,
+            A=A,
+            con_lb=con_lb,
+            con_ub=con_ub,
+            var_lb=var_lb,
+            var_ub=var_ub,
+            integrality=integrality,
+            objective_constant=self._objective.constant,
+            sense=self._sense,
+        )
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> Dict[str, int]:
+        """Model size statistics (for logging and tests)."""
+        return {
+            "variables": self.num_variables,
+            "binaries": self.num_binary_variables,
+            "integers": sum(1 for v in self.variables if v.is_integer),
+            "continuous": sum(1 for v in self.variables if not v.is_integer),
+            "constraints": self.num_constraints,
+            "nonzeros": sum(len(c.expr.coeffs) for c in self.constraints),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.statistics()
+        return (
+            f"IlpModel({self.name!r}, vars={stats['variables']}, "
+            f"cons={stats['constraints']})"
+        )

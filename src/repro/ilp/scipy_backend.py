@@ -1,0 +1,107 @@
+"""ILP solver backend based on :func:`scipy.optimize.milp` (HiGHS).
+
+This is the default backend of the library.  It plays the role of the COPT
+commercial solver used in the paper: a branch-and-cut MILP solver applied to
+exactly the same formulations, with configurable time limits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.exceptions import SolverError
+from repro.ilp.expr import INF
+from repro.ilp.model import IlpModel, Sense
+from repro.ilp.solution import IlpSolution, SolutionStatus
+
+
+@dataclass
+class SolverOptions:
+    """Options shared by all solver backends.
+
+    Attributes
+    ----------
+    time_limit:
+        Wall-clock limit in seconds (``None`` for no limit).
+    mip_rel_gap:
+        Relative optimality gap at which the solver may stop.
+    verbose:
+        Print solver progress output.
+    node_limit:
+        Branch-and-bound node limit (``None`` for no limit).
+    """
+
+    time_limit: Optional[float] = 30.0
+    mip_rel_gap: float = 1e-4
+    verbose: bool = False
+    node_limit: Optional[int] = None
+
+
+def solve_with_scipy(model: IlpModel, options: Optional[SolverOptions] = None) -> IlpSolution:
+    """Solve ``model`` with ``scipy.optimize.milp`` and return an :class:`IlpSolution`."""
+    options = options or SolverOptions()
+    compiled = model.compile()
+    start = time.perf_counter()
+
+    constraints = None
+    if compiled.A.shape[0] > 0:
+        constraints = optimize.LinearConstraint(compiled.A, compiled.con_lb, compiled.con_ub)
+    bounds = optimize.Bounds(compiled.var_lb, compiled.var_ub)
+
+    milp_options = {
+        "disp": options.verbose,
+        "mip_rel_gap": options.mip_rel_gap,
+    }
+    if options.time_limit is not None:
+        milp_options["time_limit"] = float(options.time_limit)
+    if options.node_limit is not None:
+        milp_options["node_limit"] = int(options.node_limit)
+
+    try:
+        result = optimize.milp(
+            c=compiled.c,
+            constraints=constraints,
+            bounds=bounds,
+            integrality=compiled.integrality,
+            options=milp_options,
+        )
+    except Exception as exc:  # pragma: no cover - defensive
+        raise SolverError(f"scipy.optimize.milp failed: {exc}") from exc
+
+    elapsed = time.perf_counter() - start
+    sign = 1.0 if compiled.sense is Sense.MINIMIZE else -1.0
+
+    # scipy.optimize.milp status codes:
+    #   0 optimal, 1 iteration/time limit, 2 infeasible, 3 unbounded, 4 other
+    values = np.asarray(result.x) if result.x is not None else None
+    objective = None
+    if values is not None:
+        objective = sign * float(compiled.c @ values) + compiled.objective_constant
+
+    if result.status == 0:
+        status = SolutionStatus.OPTIMAL
+    elif result.status == 1:
+        status = SolutionStatus.FEASIBLE if values is not None else SolutionStatus.NO_SOLUTION
+    elif result.status == 2:
+        status = SolutionStatus.INFEASIBLE
+    elif result.status == 3:
+        status = SolutionStatus.UNBOUNDED
+    else:
+        status = SolutionStatus.FEASIBLE if values is not None else SolutionStatus.ERROR
+
+    mip_gap = getattr(result, "mip_gap", None)
+    node_count = int(getattr(result, "mip_node_count", 0) or 0)
+    return IlpSolution(
+        status=status,
+        objective=objective,
+        values=values,
+        mip_gap=None if mip_gap is None else float(mip_gap),
+        solve_time=elapsed,
+        message=str(getattr(result, "message", "")),
+        node_count=node_count,
+    )

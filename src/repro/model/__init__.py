@@ -1,0 +1,54 @@
+"""MBSP model: machine, instance, pebbling rules, schedules, validation, costs."""
+
+from repro.model.architecture import MbspArchitecture
+from repro.model.instance import MbspInstance, make_instance
+from repro.model.pebbling import (
+    Operation,
+    OpType,
+    PebblingState,
+    compute_op,
+    delete_op,
+    load_op,
+    save_op,
+)
+from repro.model.schedule import MbspSchedule, ProcessorSuperstep, Superstep
+from repro.model.validation import ValidationReport, is_valid_schedule, validate_schedule
+from repro.model.serialization import load_schedule, save_schedule, schedule_from_dict, schedule_to_dict
+from repro.model.visualization import render_gantt, render_superstep_table
+from repro.model.cost import (
+    CostBreakdown,
+    asynchronous_cost,
+    schedule_cost,
+    synchronous_cost,
+    synchronous_cost_breakdown,
+)
+
+__all__ = [
+    "MbspArchitecture",
+    "MbspInstance",
+    "make_instance",
+    "Operation",
+    "OpType",
+    "PebblingState",
+    "compute_op",
+    "delete_op",
+    "load_op",
+    "save_op",
+    "MbspSchedule",
+    "ProcessorSuperstep",
+    "Superstep",
+    "ValidationReport",
+    "is_valid_schedule",
+    "validate_schedule",
+    "CostBreakdown",
+    "asynchronous_cost",
+    "schedule_cost",
+    "synchronous_cost",
+    "synchronous_cost_breakdown",
+    "load_schedule",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "render_gantt",
+    "render_superstep_table",
+]

@@ -1,0 +1,79 @@
+"""The MBSP machine model.
+
+A machine consists of ``P`` identical processors, each with a private fast
+memory (cache) of capacity ``r``, a shared slow memory of unlimited capacity,
+and the BSP communication parameters ``g`` (cost of moving one unit of data
+between fast and slow memory) and ``L`` (synchronization cost per superstep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MbspArchitecture:
+    """Machine description for an MBSP scheduling problem.
+
+    Attributes
+    ----------
+    num_processors:
+        Number of processors ``P`` (positive integer).
+    cache_size:
+        Fast memory capacity ``r`` per processor (non-negative; ``inf`` allowed).
+    g:
+        Communication cost per unit of data moved between fast and slow memory.
+    L:
+        Synchronization cost charged once per superstep (synchronous model).
+    """
+
+    num_processors: int
+    cache_size: float
+    g: float = 1.0
+    L: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ConfigurationError(
+                f"num_processors must be at least 1, got {self.num_processors}"
+            )
+        if self.cache_size < 0:
+            raise ConfigurationError(f"cache_size must be non-negative, got {self.cache_size}")
+        if self.g < 0:
+            raise ConfigurationError(f"g must be non-negative, got {self.g}")
+        if self.L < 0:
+            raise ConfigurationError(f"L must be non-negative, got {self.L}")
+
+    @property
+    def processors(self) -> range:
+        """Processor indices ``0 .. P-1``."""
+        return range(self.num_processors)
+
+    def with_processors(self, num_processors: int) -> "MbspArchitecture":
+        """A copy of this architecture with a different processor count."""
+        return MbspArchitecture(
+            num_processors=num_processors,
+            cache_size=self.cache_size,
+            g=self.g,
+            L=self.L,
+        )
+
+    def with_cache_size(self, cache_size: float) -> "MbspArchitecture":
+        """A copy of this architecture with a different fast-memory capacity."""
+        return MbspArchitecture(
+            num_processors=self.num_processors,
+            cache_size=cache_size,
+            g=self.g,
+            L=self.L,
+        )
+
+    def with_bsp_parameters(self, g: float | None = None, L: float | None = None) -> "MbspArchitecture":
+        """A copy with different communication/synchronization parameters."""
+        return MbspArchitecture(
+            num_processors=self.num_processors,
+            cache_size=self.cache_size,
+            g=self.g if g is None else g,
+            L=self.L if L is None else L,
+        )

@@ -1,0 +1,110 @@
+"""An MBSP problem instance: a weighted DAG together with a machine model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dag.analysis import minimum_cache_size
+from repro.dag.graph import ComputationalDag
+from repro.exceptions import InfeasibleInstanceError
+from repro.model.architecture import MbspArchitecture
+
+
+@dataclass
+class MbspInstance:
+    """A complete MBSP scheduling problem.
+
+    Attributes
+    ----------
+    dag:
+        The computational DAG with compute weights ``omega`` and memory
+        weights ``mu``.
+    architecture:
+        The machine model (``P``, ``r``, ``g``, ``L``).
+    name:
+        Optional instance name; defaults to the DAG's name.
+    """
+
+    dag: ComputationalDag
+    architecture: MbspArchitecture
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.name is None:
+            self.name = self.dag.name
+
+    # convenient pass-throughs -----------------------------------------
+    @property
+    def num_processors(self) -> int:
+        return self.architecture.num_processors
+
+    @property
+    def cache_size(self) -> float:
+        return self.architecture.cache_size
+
+    @property
+    def g(self) -> float:
+        return self.architecture.g
+
+    @property
+    def L(self) -> float:
+        return self.architecture.L
+
+    def minimum_cache_size(self) -> float:
+        """Minimal fast-memory capacity ``r0`` admitting a valid schedule."""
+        return minimum_cache_size(self.dag)
+
+    def is_feasible(self) -> bool:
+        """Whether the cache is large enough for any valid schedule to exist."""
+        return self.cache_size >= self.minimum_cache_size()
+
+    def require_feasible(self) -> None:
+        """Raise :class:`InfeasibleInstanceError` if ``r < r0``."""
+        r0 = self.minimum_cache_size()
+        if self.cache_size < r0:
+            raise InfeasibleInstanceError(
+                f"instance {self.name!r}: cache size {self.cache_size} is below "
+                f"the minimum required capacity r0={r0}"
+            )
+
+    def with_architecture(self, architecture: MbspArchitecture) -> "MbspInstance":
+        """A copy of this instance with a different machine."""
+        return MbspInstance(dag=self.dag, architecture=architecture, name=self.name)
+
+    def scaled_cache_instance(self, factor: float) -> "MbspInstance":
+        """A copy whose cache size is ``factor * r0`` (the paper's convention).
+
+        The paper defines the memory bound of each experiment relative to the
+        per-DAG minimum ``r0`` (e.g. ``r = 3 * r0`` for the main experiments).
+        """
+        r0 = self.minimum_cache_size()
+        return self.with_architecture(self.architecture.with_cache_size(factor * r0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MbspInstance(name={self.name!r}, n={self.dag.num_nodes}, "
+            f"P={self.num_processors}, r={self.cache_size}, g={self.g}, L={self.L})"
+        )
+
+
+def make_instance(
+    dag: ComputationalDag,
+    num_processors: int = 4,
+    cache_factor: float = 3.0,
+    g: float = 1.0,
+    L: float = 10.0,
+    cache_size: Optional[float] = None,
+) -> MbspInstance:
+    """Convenience constructor mirroring the paper's experimental setup.
+
+    The cache size defaults to ``cache_factor * r0`` where ``r0`` is the
+    minimal capacity required by the DAG; pass ``cache_size`` to override it
+    with an absolute value.
+    """
+    if cache_size is None:
+        cache_size = cache_factor * minimum_cache_size(dag)
+    arch = MbspArchitecture(
+        num_processors=num_processors, cache_size=cache_size, g=g, L=L
+    )
+    return MbspInstance(dag=dag, architecture=arch)

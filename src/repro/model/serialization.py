@@ -1,0 +1,106 @@
+"""Serialization of MBSP schedules.
+
+Schedules can be exported to a plain JSON document (and read back), which is
+useful for caching expensive ILP results, for inspecting schedules with
+external tooling, and for regression-testing the schedulers against stored
+reference schedules.  The format stores the superstep/phase structure
+explicitly:
+
+```json
+{
+  "instance": {"name": ..., "num_processors": 2, "cache_size": 12.0, "g": 1.0, "L": 10.0},
+  "supersteps": [
+    {"processors": [
+        {"compute": [["compute", "b"], ["delete", "a"]],
+         "save": ["b"], "delete": [], "load": ["c"]},
+        ...
+    ]},
+    ...
+  ]
+}
+```
+
+The DAG itself is serialized separately (:mod:`repro.dag.io`); loading a
+schedule requires the matching instance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ScheduleError
+from repro.model.instance import MbspInstance
+from repro.model.pebbling import Operation, OpType
+from repro.model.schedule import MbspSchedule, Superstep
+
+PathLike = Union[str, Path]
+
+
+def schedule_to_dict(schedule: MbspSchedule) -> dict:
+    """Plain-dict representation of ``schedule`` (JSON-serializable node ids)."""
+    instance = schedule.instance
+    return {
+        "instance": {
+            "name": instance.name,
+            "num_processors": instance.num_processors,
+            "cache_size": instance.cache_size,
+            "g": instance.g,
+            "L": instance.L,
+        },
+        "supersteps": [
+            {
+                "processors": [
+                    {
+                        "compute": [[op.op_type.value, op.node] for op in ps.compute_phase],
+                        "save": list(ps.save_phase),
+                        "delete": list(ps.delete_phase),
+                        "load": list(ps.load_phase),
+                    }
+                    for ps in step.processor_steps
+                ]
+            }
+            for step in schedule.supersteps
+        ],
+    }
+
+
+def schedule_from_dict(data: dict, instance: MbspInstance) -> MbspSchedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output.
+
+    The ``instance`` must describe the same machine (processor count is
+    checked; the DAG is taken from the instance).
+    """
+    meta = data.get("instance", {})
+    num_processors = int(meta.get("num_processors", instance.num_processors))
+    if num_processors != instance.num_processors:
+        raise ScheduleError(
+            f"stored schedule uses {num_processors} processors, instance has "
+            f"{instance.num_processors}"
+        )
+    schedule = MbspSchedule(instance)
+    for step_data in data.get("supersteps", []):
+        step = Superstep(instance.num_processors)
+        processors = step_data.get("processors", [])
+        if len(processors) != instance.num_processors:
+            raise ScheduleError("superstep entry does not match the processor count")
+        for p, ps_data in enumerate(processors):
+            ps = step[p]
+            for op_type, node in ps_data.get("compute", []):
+                ps.compute_phase.append(Operation(OpType(op_type), node))
+            ps.save_phase.extend(ps_data.get("save", []))
+            ps.delete_phase.extend(ps_data.get("delete", []))
+            ps.load_phase.extend(ps_data.get("load", []))
+        schedule.append(step)
+    return schedule
+
+
+def save_schedule(schedule: MbspSchedule, path: PathLike) -> None:
+    """Write ``schedule`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: PathLike, instance: MbspInstance) -> MbspSchedule:
+    """Read a schedule written by :func:`save_schedule` for ``instance``."""
+    return schedule_from_dict(json.loads(Path(path).read_text()), instance)

@@ -1,0 +1,174 @@
+"""Validation of MBSP schedules.
+
+The validator replays a schedule through :class:`~repro.model.pebbling.PebblingState`
+and enforces every rule of the model definition (Section 3 and Appendix A):
+
+* every operation's precondition (parents in cache, blue pebble present, ...),
+* the per-processor memory bound after every cache insertion,
+* the superstep semantics (slow memory is only updated at the end of each
+  save phase and queried in the load phase),
+* the initial configuration (only sources in slow memory, empty caches) and
+  the terminal configuration (all sinks in slow memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.dag.graph import NodeId
+from repro.exceptions import InvalidScheduleError
+from repro.model.pebbling import OpType, PebblingState
+from repro.model.schedule import MbspSchedule
+
+
+@dataclass
+class ValidationReport:
+    """Summary statistics gathered while replaying a valid schedule."""
+
+    num_supersteps: int = 0
+    num_computes: int = 0
+    num_loads: int = 0
+    num_saves: int = 0
+    num_deletes: int = 0
+    recomputed_nodes: int = 0
+    max_cache_used: float = 0.0
+    computed_nodes: Set[NodeId] = field(default_factory=set)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_supersteps": self.num_supersteps,
+            "num_computes": self.num_computes,
+            "num_loads": self.num_loads,
+            "num_saves": self.num_saves,
+            "num_deletes": self.num_deletes,
+            "recomputed_nodes": self.recomputed_nodes,
+            "max_cache_used": self.max_cache_used,
+        }
+
+
+def validate_schedule(schedule: MbspSchedule, require_all_computed: bool = True) -> ValidationReport:
+    """Replay ``schedule`` and raise :class:`InvalidScheduleError` on any violation.
+
+    Parameters
+    ----------
+    schedule:
+        The MBSP schedule to check.
+    require_all_computed:
+        When true (default), additionally require that every non-source node
+        is computed at least once.  The bare model only requires the sinks to
+        end up in slow memory, but all schedules produced by this library
+        compute every node, and requiring it catches converter bugs early.
+
+    Returns
+    -------
+    ValidationReport
+        Operation counts and peak cache usage of the (valid) schedule.
+    """
+    instance = schedule.instance
+    dag = instance.dag
+    state = PebblingState(dag, instance.num_processors, instance.cache_size)
+    report = ValidationReport(num_supersteps=schedule.num_supersteps)
+    compute_events: Dict[NodeId, int] = {}
+
+    for s, step in enumerate(schedule.supersteps):
+        if step.num_processors != instance.num_processors:
+            raise InvalidScheduleError(
+                f"superstep {s} has {step.num_processors} processor entries, "
+                f"expected {instance.num_processors}"
+            )
+        # 1. compute phases (COMPUTE / DELETE only)
+        for p, ps in enumerate(step.processor_steps):
+            ps.validate_phase_types()
+            for op in ps.compute_phase:
+                try:
+                    state.apply(p, op)
+                except InvalidScheduleError as exc:
+                    raise InvalidScheduleError(f"superstep {s}: {exc}") from None
+                if op.op_type is OpType.COMPUTE:
+                    report.num_computes += 1
+                    compute_events[op.node] = compute_events.get(op.node, 0) + 1
+                    report.computed_nodes.add(op.node)
+                else:
+                    report.num_deletes += 1
+                report.max_cache_used = max(report.max_cache_used, state.cache_used(p))
+        # 2. save phases: blue pebbles become visible only after all saves
+        new_blue: Set[NodeId] = set()
+        for p, ps in enumerate(step.processor_steps):
+            for v in ps.save_phase:
+                try:
+                    state.apply_save(p, v, blue_target=new_blue)
+                except InvalidScheduleError as exc:
+                    raise InvalidScheduleError(f"superstep {s}: {exc}") from None
+                report.num_saves += 1
+        state.blue.update(new_blue)
+        # 3. delete phases
+        for p, ps in enumerate(step.processor_steps):
+            for v in ps.delete_phase:
+                try:
+                    state.apply_delete(p, v)
+                except InvalidScheduleError as exc:
+                    raise InvalidScheduleError(f"superstep {s}: {exc}") from None
+                report.num_deletes += 1
+        # 4. load phases
+        for p, ps in enumerate(step.processor_steps):
+            for v in ps.load_phase:
+                try:
+                    state.apply_load(p, v)
+                except InvalidScheduleError as exc:
+                    raise InvalidScheduleError(f"superstep {s}: {exc}") from None
+                report.num_loads += 1
+                report.max_cache_used = max(report.max_cache_used, state.cache_used(p))
+
+    missing = state.missing_sinks()
+    if missing:
+        raise InvalidScheduleError(
+            f"terminal configuration violated: sink nodes {missing!r} never "
+            f"saved to slow memory"
+        )
+    if require_all_computed:
+        not_computed = [
+            v for v in dag.nodes if not dag.is_source(v) and v not in report.computed_nodes
+        ]
+        if not_computed:
+            raise InvalidScheduleError(
+                f"nodes never computed anywhere in the schedule: {not_computed!r}"
+            )
+    report.recomputed_nodes = sum(1 for c in compute_events.values() if c > 1)
+    return report
+
+
+def replay_final_state(schedule: MbspSchedule) -> PebblingState:
+    """Replay a schedule (assumed valid) and return the final pebbling state.
+
+    Used by the divide-and-conquer scheduler to find which values are left in
+    each processor's cache at the end of a sub-schedule (they must be evicted
+    before the next sub-problem starts so the memory bound keeps holding).
+    """
+    instance = schedule.instance
+    state = PebblingState(instance.dag, instance.num_processors, instance.cache_size)
+    for step in schedule.supersteps:
+        for p, ps in enumerate(step.processor_steps):
+            for op in ps.compute_phase:
+                state.apply(p, op)
+        new_blue = set()
+        for p, ps in enumerate(step.processor_steps):
+            for v in ps.save_phase:
+                state.apply_save(p, v, blue_target=new_blue)
+        state.blue.update(new_blue)
+        for p, ps in enumerate(step.processor_steps):
+            for v in ps.delete_phase:
+                state.apply_delete(p, v)
+        for p, ps in enumerate(step.processor_steps):
+            for v in ps.load_phase:
+                state.apply_load(p, v)
+    return state
+
+
+def is_valid_schedule(schedule: MbspSchedule, require_all_computed: bool = True) -> bool:
+    """Boolean convenience wrapper around :func:`validate_schedule`."""
+    try:
+        validate_schedule(schedule, require_all_computed=require_all_computed)
+        return True
+    except InvalidScheduleError:
+        return False

@@ -1,0 +1,103 @@
+"""Text-based visualization of MBSP schedules.
+
+Two renderers are provided, both dependency-free (plain text) so they can be
+used in examples, notebooks and terminal debugging sessions:
+
+* :func:`render_superstep_table` — one row per superstep, one column per
+  processor, showing the computed nodes and the I/O volume of every phase;
+* :func:`render_gantt` — an ASCII Gantt chart of the *asynchronous* execution
+  (each processor is a lane; compute time is drawn with ``#``, I/O with
+  ``~``, idle/waiting time with ``.``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.dag.graph import NodeId
+from repro.model.pebbling import OpType
+from repro.model.schedule import MbspSchedule
+
+
+def render_superstep_table(schedule: MbspSchedule, max_nodes_per_cell: int = 6) -> str:
+    """A fixed-width per-superstep summary table of ``schedule``."""
+    instance = schedule.instance
+    dag = instance.dag
+    g = instance.g
+    width = 28
+    header_cells = [f"p{p}".center(width) for p in range(instance.num_processors)]
+    lines = ["superstep | " + " | ".join(header_cells)]
+    lines.append("-" * len(lines[0]))
+    for s, step in enumerate(schedule.supersteps):
+        cells = []
+        for ps in step.processor_steps:
+            computed = ps.computed_nodes()
+            shown = ",".join(str(v) for v in computed[:max_nodes_per_cell])
+            if len(computed) > max_nodes_per_cell:
+                shown += ",..."
+            io = ps.io_cost(dag, g)
+            cell = f"c[{shown}] io={io:g}"
+            cells.append(cell[:width].ljust(width))
+        lines.append(f"{s:>9d} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def _asynchronous_timeline(schedule: MbspSchedule) -> List[List[Tuple[float, float, str]]]:
+    """Per-processor list of (start, end, kind) intervals, kind in {comp, io, wait}."""
+    instance = schedule.instance
+    dag = instance.dag
+    g = instance.g
+    P = instance.num_processors
+    finish = [0.0] * P
+    gets_blue: Dict[NodeId, float] = {v: 0.0 for v in dag.sources()}
+    first_save_superstep: Dict[NodeId, int] = {}
+    lanes: List[List[Tuple[float, float, str]]] = [[] for _ in range(P)]
+
+    for s, step in enumerate(schedule.supersteps):
+        for p, ps in enumerate(step.processor_steps):
+            for op in ps.compute_phase:
+                if op.op_type is OpType.COMPUTE:
+                    start = finish[p]
+                    finish[p] += dag.omega(op.node)
+                    lanes[p].append((start, finish[p], "comp"))
+        for p, ps in enumerate(step.processor_steps):
+            for v in ps.save_phase:
+                start = finish[p]
+                finish[p] += g * dag.mu(v)
+                lanes[p].append((start, finish[p], "io"))
+                prev = first_save_superstep.get(v)
+                if prev is None:
+                    first_save_superstep[v] = s
+                    gets_blue[v] = finish[p]
+                elif prev == s:
+                    gets_blue[v] = min(gets_blue[v], finish[p])
+        for p, ps in enumerate(step.processor_steps):
+            for v in ps.load_phase:
+                available = gets_blue.get(v, 0.0)
+                if available > finish[p]:
+                    lanes[p].append((finish[p], available, "wait"))
+                    finish[p] = available
+                start = finish[p]
+                finish[p] += g * dag.mu(v)
+                lanes[p].append((start, finish[p], "io"))
+    return lanes
+
+
+def render_gantt(schedule: MbspSchedule, width: int = 72) -> str:
+    """ASCII Gantt chart of the asynchronous execution of ``schedule``."""
+    lanes = _asynchronous_timeline(schedule)
+    makespan = max((interval[1] for lane in lanes for interval in lane), default=0.0)
+    if makespan <= 0:
+        return "(empty schedule)"
+    scale = width / makespan
+    symbols = {"comp": "#", "io": "~", "wait": "."}
+    lines = [f"asynchronous makespan: {makespan:g}   (# compute, ~ I/O, . waiting)"]
+    for p, lane in enumerate(lanes):
+        row = [" "] * width
+        for start, end, kind in lane:
+            lo = min(width - 1, int(start * scale))
+            hi = min(width, max(lo + 1, int(round(end * scale))))
+            for i in range(lo, hi):
+                row[i] = symbols[kind]
+        lines.append(f"p{p:<2d} |" + "".join(row) + "|")
+    return "\n".join(lines)

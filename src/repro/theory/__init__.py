@@ -1,0 +1,35 @@
+"""Executable versions of the paper's theoretical constructions and bounds."""
+
+from repro.theory.constructions import (
+    TwoStageGapConstruction,
+    chain_per_processor_bsp_schedule,
+    optimal_gap_schedule,
+    partition_reduction_dag,
+    sync_async_gap_construction,
+    sync_vs_async_small_gap_construction,
+    two_stage_gap_construction,
+    zipper_gadget,
+)
+from repro.theory.bounds import (
+    asynchronous_lower_bound,
+    compute_lower_bound,
+    io_lower_bound,
+    lower_bound_report,
+    synchronous_lower_bound,
+)
+
+__all__ = [
+    "TwoStageGapConstruction",
+    "chain_per_processor_bsp_schedule",
+    "optimal_gap_schedule",
+    "partition_reduction_dag",
+    "sync_async_gap_construction",
+    "sync_vs_async_small_gap_construction",
+    "two_stage_gap_construction",
+    "zipper_gadget",
+    "asynchronous_lower_bound",
+    "compute_lower_bound",
+    "io_lower_bound",
+    "lower_bound_report",
+    "synchronous_lower_bound",
+]

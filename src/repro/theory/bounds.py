@@ -1,0 +1,72 @@
+"""Simple lower bounds on MBSP schedule costs.
+
+These bounds are used in tests (no scheduler may beat them), in the theory
+benchmark (to report optimality gaps), and as sanity checks in the experiment
+harness.  They are deliberately elementary — the point of the paper is that
+good *upper* bounds require solving the holistic problem.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dag.analysis import critical_path_length
+from repro.model.instance import MbspInstance
+
+
+def compute_lower_bound(instance: MbspInstance) -> float:
+    """Work/critical-path lower bound on the compute part of any schedule.
+
+    Every non-source node must be computed at least once, so the compute time
+    of the busiest processor is at least ``total_work / P``; it is also at
+    least the weighted critical path (chains cannot be parallelised).
+    """
+    dag = instance.dag
+    return max(
+        dag.total_work() / instance.num_processors,
+        critical_path_length(dag),
+    )
+
+
+def io_lower_bound(instance: MbspInstance) -> float:
+    """I/O lower bound: inputs must be loaded and outputs saved at least once.
+
+    Every source value is needed by at least one processor and only exists in
+    slow memory initially, and every sink value must be written back, each at
+    cost ``g * mu``.  (Sharper red-blue pebbling bounds exist for specific
+    DAGs; this generic bound suffices for validity checks.)
+    """
+    dag = instance.dag
+    g = instance.g
+    loads = sum(dag.mu(v) for v in dag.sources() if dag.children(v))
+    saves = sum(dag.mu(v) for v in dag.sinks())
+    return g * (loads + saves)
+
+
+def synchronous_lower_bound(instance: MbspInstance) -> float:
+    """Combined lower bound on the synchronous cost of any valid schedule.
+
+    The compute and I/O terms of the synchronous cost are additive across
+    supersteps and each is individually bounded from below; at least one
+    superstep is needed, contributing one ``L``.
+    """
+    return compute_lower_bound(instance) + io_lower_bound(instance) / max(
+        instance.num_processors, 1
+    ) + instance.L
+
+
+def asynchronous_lower_bound(instance: MbspInstance) -> float:
+    """Lower bound on the asynchronous (makespan) cost of any valid schedule."""
+    dag = instance.dag
+    per_processor_io = io_lower_bound(instance) / max(instance.num_processors, 1)
+    return max(compute_lower_bound(instance), per_processor_io)
+
+
+def lower_bound_report(instance: MbspInstance) -> Dict[str, float]:
+    """All bounds in one dictionary (used by the theory benchmark)."""
+    return {
+        "compute": compute_lower_bound(instance),
+        "io": io_lower_bound(instance),
+        "synchronous": synchronous_lower_bound(instance),
+        "asynchronous": asynchronous_lower_bound(instance),
+    }

@@ -1,0 +1,295 @@
+"""Gadget constructions from the paper's theoretical results.
+
+These DAG families are used in the proofs of the paper and serve three
+purposes in this repository: they make the theoretical statements executable
+(property-based tests check the claimed cost gaps), they provide adversarial
+workloads for the schedulers, and the theory benchmark regenerates the
+Figure 1 / Figure 2 comparison of the two-stage approach versus the optimum.
+
+* :func:`two_stage_gap_construction` — Theorem 4.1: two source groups and two
+  chains with alternating group dependencies; the best BSP-first schedule is
+  forced into ``d * m`` I/O operations while the MBSP optimum needs only
+  ``2 m + O(d)``.
+* :func:`partition_reduction_dag` — Lemma 5.1: memory management with general
+  weights encodes number partitioning.
+* :func:`sync_async_gap_construction` — Lemma 5.3: optimising the
+  asynchronous cost can be a factor ``P/2`` worse synchronously.
+* :func:`sync_vs_async_small_gap_construction` — Lemma 5.4: optimising the
+  synchronous cost can be a factor 4/3 worse asynchronously.
+* :func:`zipper_gadget` — Lemma 6.1: an ILP schedule with empty steps can
+  still be suboptimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dag.graph import ComputationalDag
+from repro.model.architecture import MbspArchitecture
+from repro.model.instance import MbspInstance
+from repro.model.pebbling import compute_op, delete_op
+from repro.model.schedule import MbspSchedule, Superstep
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.1 — the two-stage approach can be a linear factor off
+# ----------------------------------------------------------------------
+@dataclass
+class TwoStageGapConstruction:
+    """The Theorem 4.1 gadget together with handles to its node groups."""
+
+    dag: ComputationalDag
+    group1: List[str]
+    group2: List[str]
+    chain_v: List[str]
+    chain_u: List[str]
+    d: int
+    m: int
+
+    def instance(self, g: float = 1.0, L: float = 0.0) -> MbspInstance:
+        """The instance used in the proof: P=2 and cache size ``d + 2``."""
+        arch = MbspArchitecture(num_processors=2, cache_size=self.d + 2, g=g, L=L)
+        return MbspInstance(dag=self.dag, architecture=arch)
+
+
+def two_stage_gap_construction(d: int, m: int) -> TwoStageGapConstruction:
+    """Build the Figure 1 construction with group size ``d`` and chain length ``m``.
+
+    Two groups ``H1``, ``H2`` of ``d`` source nodes each, and two chains
+    ``v_1..v_m`` and ``u_1..u_m``.  Chain node ``v_i`` additionally reads all
+    of ``H2`` when ``i`` is odd and all of ``H1`` when ``i`` is even; ``u_i``
+    reads the other group.  All weights are 1.
+    """
+    if d < 1 or m < 1:
+        raise ValueError("d and m must be at least 1")
+    dag = ComputationalDag(name=f"two_stage_gap_d{d}_m{m}")
+    group1 = [f"h1_{i}" for i in range(d)]
+    group2 = [f"h2_{i}" for i in range(d)]
+    for h in group1 + group2:
+        dag.add_node(h, omega=1.0, mu=1.0)
+    chain_v = [f"v_{i}" for i in range(1, m + 1)]
+    chain_u = [f"u_{i}" for i in range(1, m + 1)]
+    for node in chain_v + chain_u:
+        dag.add_node(node, omega=1.0, mu=1.0)
+    for i in range(1, m):
+        dag.add_edge(chain_v[i - 1], chain_v[i])
+        dag.add_edge(chain_u[i - 1], chain_u[i])
+    for i in range(1, m + 1):
+        # odd i: u_i reads H1 and v_i reads H2; even i: the other way round
+        v_sources = group2 if i % 2 == 1 else group1
+        u_sources = group1 if i % 2 == 1 else group2
+        for h in v_sources:
+            dag.add_edge(h, chain_v[i - 1])
+        for h in u_sources:
+            dag.add_edge(h, chain_u[i - 1])
+    return TwoStageGapConstruction(
+        dag=dag, group1=group1, group2=group2, chain_v=chain_v, chain_u=chain_u, d=d, m=m
+    )
+
+
+def optimal_gap_schedule(construction: TwoStageGapConstruction, g: float = 1.0, L: float = 0.0) -> MbspSchedule:
+    """Hand-built near-optimal MBSP schedule for the Theorem 4.1 gadget.
+
+    Processor 0 computes all children of ``H1`` and processor 1 all children
+    of ``H2`` (Figure 2, right): each processor keeps its own group cached the
+    whole time and the two processors exchange exactly one chain value per
+    superstep through slow memory, so the total I/O is ``2m + 2d + O(1)``.
+    """
+    instance = construction.instance(g=g, L=L)
+    schedule = MbspSchedule(instance)
+    m = construction.m
+
+    # superstep 0: processor 0 loads H1, processor 1 loads H2
+    step = schedule.new_superstep()
+    step[0].load_phase.extend(construction.group1)
+    step[1].load_phase.extend(construction.group2)
+
+    for i in range(1, m + 1):
+        v_node = construction.chain_v[i - 1]
+        u_node = construction.chain_u[i - 1]
+        # odd i: u_i reads H1 (processor 0), v_i reads H2 (processor 1);
+        # even i: the assignments swap — every chain node's predecessor lives
+        # on the other processor, so one value is exchanged per superstep
+        if i % 2 == 1:
+            assignment = {0: u_node, 1: v_node}
+        else:
+            assignment = {0: v_node, 1: u_node}
+        prev_nodes = (
+            {0: None, 1: None}
+            if i == 1
+            else {
+                p: (construction.chain_v[i - 2] if assignment[p] == construction.chain_v[i - 1] else construction.chain_u[i - 2])
+                for p in (0, 1)
+            }
+        )
+        step = schedule.new_superstep()
+        for p in (0, 1):
+            own = assignment[p]
+            partner = assignment[1 - p]
+            step[p].compute_phase.append(compute_op(own))
+            step[p].save_phase.append(own)
+            if i < m:
+                # the freshly computed value is only needed by the other
+                # processor, and the consumed predecessor is dead: evict both
+                # and fetch the partner's value for the next superstep
+                step[p].delete_phase.append(own)
+                if prev_nodes[p] is not None:
+                    step[p].delete_phase.append(prev_nodes[p])
+                step[p].load_phase.append(partner)
+    return schedule
+
+
+def chain_per_processor_bsp_schedule(construction: TwoStageGapConstruction):
+    """The BSP-optimal first-stage schedule of Theorem 4.1 (Figure 2, left).
+
+    Chain ``v`` is computed entirely on processor 0 and chain ``u`` entirely
+    on processor 1 — the communication-free assignment that any BSP-only
+    scheduler prefers, but which forces the memory-management stage into
+    ``d * m`` load operations because the cache cannot hold both groups.
+    """
+    from repro.bsp.schedule import BspSchedule
+
+    bsp = BspSchedule(construction.dag, 2)
+    for i, node in enumerate(construction.chain_v):
+        bsp.assign(node, 0, 0, order=i)
+    for i, node in enumerate(construction.chain_u):
+        bsp.assign(node, 1, 0, order=i)
+    bsp.validate()
+    return bsp
+
+
+# ----------------------------------------------------------------------
+# Lemma 5.1 — memory management with weights encodes number partitioning
+# ----------------------------------------------------------------------
+def partition_reduction_dag(weights: Sequence[float]) -> Tuple[ComputationalDag, float]:
+    """The Lemma 5.1 reduction DAG for a number-partitioning instance.
+
+    Nodes ``v_1..v_m`` (memory weights ``a_i``) and ``v'`` (weight ``alpha/2``)
+    are sources; three compute nodes ``c1, c2, c3`` require, in order, all of
+    ``v_1..v_m``, then ``v'``, then all of ``v_1..v_m`` again.  Returns the
+    DAG and the cache size ``alpha`` used in the reduction.
+    """
+    weights = list(weights)
+    if not weights:
+        raise ValueError("need at least one weight")
+    alpha = float(sum(weights))
+    dag = ComputationalDag(name=f"partition_reduction_{len(weights)}")
+    value_nodes = []
+    for i, w in enumerate(weights):
+        dag.add_node(f"v_{i}", omega=1.0, mu=float(w))
+        value_nodes.append(f"v_{i}")
+    dag.add_node("v_prime", omega=1.0, mu=alpha / 2.0)
+    dag.add_node("c1", omega=1.0, mu=0.0)
+    dag.add_node("c2", omega=1.0, mu=0.0)
+    dag.add_node("c3", omega=1.0, mu=0.0)
+    for v in value_nodes:
+        dag.add_edge(v, "c1")
+        dag.add_edge(v, "c3")
+    dag.add_edge("v_prime", "c2")
+    # enforce the order c1 -> c2 -> c3
+    dag.add_edge("c1", "c2")
+    dag.add_edge("c2", "c3")
+    return dag, alpha
+
+
+# ----------------------------------------------------------------------
+# Lemma 5.3 — async-optimal schedules can be P/2 worse synchronously
+# ----------------------------------------------------------------------
+def sync_async_gap_construction(num_processors: int, heavy_weight: float = 100.0) -> ComputationalDag:
+    """The Lemma 5.3 gadget for an even number of processors.
+
+    For every processor pair ``i`` there are two parallel chains of length
+    ``P/2``; exactly the ``i``-th position of pair ``i`` carries the heavy
+    compute weight ``Z``, every other node weight 1.  A single artificial
+    source feeds all chain heads.
+    """
+    if num_processors < 2 or num_processors % 2 != 0:
+        raise ValueError("num_processors must be an even integer >= 2")
+    half = num_processors // 2
+    dag = ComputationalDag(name=f"sync_async_gap_P{num_processors}")
+    dag.add_node("s", omega=1.0, mu=1.0)
+    for i in range(half):
+        prev_u = prev_v = "s"
+        for j in range(half):
+            weight = heavy_weight if i == j else 1.0
+            u = f"u_{i}_{j}"
+            v = f"v_{i}_{j}"
+            dag.add_node(u, omega=weight, mu=1.0)
+            dag.add_node(v, omega=weight, mu=1.0)
+            dag.add_edge(prev_u, u)
+            dag.add_edge(prev_v, v)
+            if j > 0:
+                # the Lemma's construction also crosses the two chains of a pair
+                dag.add_edge(f"u_{i}_{j-1}", v)
+                dag.add_edge(f"v_{i}_{j-1}", u)
+            prev_u, prev_v = u, v
+    return dag
+
+
+# ----------------------------------------------------------------------
+# Lemma 5.4 — sync-optimal schedules can be 4/3 worse asynchronously
+# ----------------------------------------------------------------------
+def sync_vs_async_small_gap_construction(heavy_weight: float = 100.0) -> ComputationalDag:
+    """The Lemma 5.4 gadget (P=5): two heavy diamonds plus a fan-out and an
+    isolated node, all hanging off an artificial source."""
+    Z = float(heavy_weight)
+    dag = ComputationalDag(name="sync_vs_async_small_gap")
+    dag.add_node("s", omega=1.0, mu=1.0)
+    for name, weight in [
+        ("u1", Z - 1), ("u2", Z - 1), ("u3", 2 * Z), ("u4", 2 * Z),
+        ("x1", 2 * Z), ("x2", Z - 1), ("x3", Z - 1), ("x4", Z - 1),
+        ("w", Z - 1),
+    ]:
+        dag.add_node(name, omega=weight, mu=1.0)
+    for tail, head in [
+        ("s", "u1"), ("s", "u2"), ("s", "x1"), ("s", "w"),
+        ("u1", "u3"), ("u1", "u4"), ("u2", "u3"), ("u2", "u4"),
+        ("x1", "x2"), ("x1", "x3"), ("x1", "x4"),
+    ]:
+        dag.add_edge(tail, head)
+    return dag
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.1 — empty ILP steps do not certify optimality
+# ----------------------------------------------------------------------
+def zipper_gadget(d: int, m: int) -> ComputationalDag:
+    """The modified zipper gadget of Lemma 6.1 (single processor, r = 4).
+
+    Two chains ``a_1..a_d`` and ``b_1..b_d`` feed a long chain
+    ``c_0..c_m``; chain node ``c_i`` additionally reads ``a_d`` for odd ``i``
+    and ``b_d`` for even ``i >= 2``; a single source ``w`` feeds every node.
+    Recomputing one of the short chains can replace an I/O step when ``g`` is
+    large, which requires extra (non-mergeable) time steps.
+    """
+    if d < 2 or m < 1:
+        raise ValueError("d must be >= 2 and m >= 1")
+    dag = ComputationalDag(name=f"zipper_d{d}_m{m}")
+    dag.add_node("w", omega=1.0, mu=1.0)
+    for prefix in ("a", "b"):
+        prev = "w"
+        for i in range(1, d + 1):
+            node = f"{prefix}_{i}"
+            dag.add_node(node, omega=1.0, mu=1.0)
+            dag.add_edge(prev, node)
+            if prev != "w":
+                pass
+            dag.add_edge("w", node)
+            prev = node
+    prev = None
+    for i in range(0, m + 1):
+        node = f"c_{i}"
+        dag.add_node(node, omega=1.0, mu=1.0)
+        dag.add_edge("w", node)
+        if i == 0:
+            dag.add_edge(f"a_{d}", node)
+            dag.add_edge(f"b_{d}", node)
+        elif i % 2 == 1:
+            dag.add_edge(f"a_{d}", node)
+        else:
+            dag.add_edge(f"b_{d}", node)
+        if prev is not None:
+            dag.add_edge(prev, node)
+        prev = node
+    return dag

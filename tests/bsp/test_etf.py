@@ -1,0 +1,70 @@
+"""Tests for the ETF (earliest-task-first) list scheduler."""
+
+import pytest
+
+from repro.bsp.etf import etf_bsp_schedule, etf_placement
+from repro.cache import two_stage_schedule
+from repro.core.two_stage import run_two_stage
+from repro.dag.generators import chain_dag, fork_join_dag, random_layered_dag, spmv
+from repro.model import make_instance, validate_schedule
+
+
+class TestEtfPlacement:
+    def test_all_nodes_placed_with_consistent_times(self, medium_dag):
+        result = etf_placement(medium_dag, 3, g=1.0)
+        computable = [v for v in medium_dag.nodes if not medium_dag.is_source(v)]
+        assert set(result.placement) == set(computable)
+        for v in computable:
+            assert result.finish_time[v] == pytest.approx(
+                result.start_time[v] + medium_dag.omega(v)
+            )
+        assert result.makespan == pytest.approx(max(result.finish_time.values()))
+
+    def test_precedence_respected_in_start_times(self, medium_dag):
+        result = etf_placement(medium_dag, 3, g=1.0)
+        for u, v in medium_dag.edges():
+            if medium_dag.is_source(u):
+                continue
+            assert result.start_time[v] >= result.finish_time[u] - 1e-9
+
+    def test_cross_processor_dependency_pays_communication(self, diamond_dag):
+        result = etf_placement(diamond_dag, 2, g=5.0)
+        for u, v in diamond_dag.edges():
+            if diamond_dag.is_source(u):
+                continue
+            if result.placement[u] != result.placement[v]:
+                assert result.start_time[v] >= result.finish_time[u] + 5.0 * diamond_dag.mu(u) - 1e-9
+
+    def test_chain_has_no_idle_time_on_one_processor(self):
+        dag = chain_dag(8, omega=2.0)
+        result = etf_placement(dag, 4, g=1.0)
+        assert result.makespan == pytest.approx(7 * 2.0)
+        assert len(set(result.placement.values())) == 1
+
+    def test_parallel_fork_join_uses_multiple_processors(self):
+        dag = fork_join_dag(width=6, stages=1, omega=4.0)
+        result = etf_placement(dag, 3, g=0.0)
+        assert len(set(result.placement.values())) == 3
+
+    def test_invalid_processor_count(self, diamond_dag):
+        with pytest.raises(ValueError):
+            etf_placement(diamond_dag, 0)
+
+
+class TestEtfBspSchedule:
+    @pytest.mark.parametrize("procs", [1, 2, 4])
+    def test_valid_bsp_schedule(self, procs):
+        dag = random_layered_dag(4, 4, seed=11)
+        schedule = etf_bsp_schedule(dag, procs, g=1.0)
+        schedule.validate()
+
+    def test_usable_in_two_stage_pipeline(self, small_spmv):
+        instance = make_instance(small_spmv, num_processors=2, cache_factor=3.0, g=1, L=10)
+        bsp = etf_bsp_schedule(small_spmv, 2, g=1.0)
+        schedule = two_stage_schedule(bsp, instance)
+        validate_schedule(schedule)
+
+    def test_registered_as_first_stage(self, small_instance):
+        result = run_two_stage(small_instance, scheduler="etf", policy="clairvoyant")
+        validate_schedule(result.mbsp_schedule)
+        assert result.scheduler_name == "etf"

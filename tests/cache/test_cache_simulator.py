@@ -1,0 +1,98 @@
+"""Tests for the standalone single-processor cache simulator."""
+
+import pytest
+
+from repro.cache.policies import ClairvoyantPolicy, LruPolicy
+from repro.cache.simulator import CacheSimulator, simulate_cache
+from repro.dag.analysis import assign_random_memory_weights, minimum_cache_size
+from repro.dag.generators import chain_dag, iterated_spmv, spmv
+from repro.dag.graph import ComputationalDag
+from repro.exceptions import InfeasibleInstanceError
+from repro.theory.constructions import partition_reduction_dag
+
+
+def topo_computables(dag):
+    return [v for v in dag.topological_order() if not dag.is_source(v)]
+
+
+class TestBasicSimulation:
+    def test_chain_with_large_cache_loads_only_the_source(self):
+        dag = chain_dag(6, mu=1.0)
+        result = simulate_cache(dag, topo_computables(dag), cache_size=100.0)
+        assert result.num_loads == 1            # only the source value
+        assert result.load_volume == 1.0
+        assert result.num_saves == 1            # the sink
+        assert result.num_evictions == 0
+        assert result.io_cost == pytest.approx(2.0)
+
+    def test_peak_usage_respects_cache_size(self):
+        dag = iterated_spmv(4, 2, seed=3)
+        assign_random_memory_weights(dag, seed=3)
+        r = 2.0 * minimum_cache_size(dag)
+        result = simulate_cache(dag, topo_computables(dag), cache_size=r)
+        assert result.peak_usage <= r + 1e-9
+
+    def test_g_scales_io_cost(self):
+        dag = spmv(4, seed=1)
+        order = topo_computables(dag)
+        r = 1.5 * minimum_cache_size(dag)
+        cost1 = simulate_cache(dag, order, r, g=1.0).io_cost
+        cost3 = simulate_cache(dag, order, r, g=3.0).io_cost
+        assert cost3 == pytest.approx(3.0 * cost1)
+
+    def test_infeasible_cache_rejected(self):
+        dag = spmv(4, seed=1)
+        with pytest.raises(InfeasibleInstanceError):
+            simulate_cache(dag, topo_computables(dag), cache_size=0.5)
+
+    def test_non_topological_order_rejected(self):
+        dag = chain_dag(4)
+        with pytest.raises(InfeasibleInstanceError):
+            simulate_cache(dag, [3, 1, 2], cache_size=10.0)
+
+    def test_source_in_order_rejected(self):
+        dag = chain_dag(4)
+        with pytest.raises(InfeasibleInstanceError):
+            simulate_cache(dag, [0, 1, 2, 3], cache_size=10.0)
+
+
+class TestPolicyComparison:
+    def test_clairvoyant_never_loads_more_than_lru_on_spmv(self):
+        dag = spmv(6, seed=5)
+        assign_random_memory_weights(dag, seed=5)
+        order = topo_computables(dag)
+        r = 1.2 * minimum_cache_size(dag)
+        clair = simulate_cache(dag, order, r, policy=ClairvoyantPolicy())
+        lru = simulate_cache(dag, order, r, policy=LruPolicy())
+        assert clair.load_volume <= lru.load_volume + 1e-9
+
+    def test_more_cache_means_fewer_loads(self):
+        dag = iterated_spmv(4, 3, seed=7)
+        assign_random_memory_weights(dag, seed=7)
+        order = topo_computables(dag)
+        r0 = minimum_cache_size(dag)
+        small = simulate_cache(dag, order, r0)
+        large = simulate_cache(dag, order, 10 * r0)
+        assert large.num_loads <= small.num_loads
+        assert large.num_evictions <= small.num_evictions
+
+
+class TestLemma51Reduction:
+    """The memory-management problem encodes number partitioning (Lemma 5.1)."""
+
+    def test_partitionable_weights_allow_cheap_schedule(self):
+        # {2, 2, 3, 3} can be split into two halves of weight 5, so keeping one
+        # half in cache while v' is processed saves half of the reloads
+        dag, alpha = partition_reduction_dag([2, 2, 3, 3])
+        order = ["c1", "c2", "c3"]
+        result = simulate_cache(dag, order, cache_size=alpha, policy=ClairvoyantPolicy())
+        # total loads: all of v_i (alpha) + v' (alpha/2) + reloading roughly one
+        # half (alpha/2, up to one extra item of slack from greedy eviction)
+        assert result.load_volume <= 2 * alpha + max([2, 2, 3, 3]) + 1e-9
+
+    def test_reload_cost_bounded_below(self):
+        dag, alpha = partition_reduction_dag([4, 3, 2, 1])
+        order = ["c1", "c2", "c3"]
+        result = simulate_cache(dag, order, cache_size=alpha, policy=ClairvoyantPolicy())
+        # the first computation alone needs to load all of v_1..v_m
+        assert result.load_volume >= alpha

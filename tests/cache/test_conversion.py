@@ -1,0 +1,129 @@
+"""Tests for the two-stage BSP -> MBSP conversion."""
+
+import pytest
+
+from repro.bsp.greedy import greedy_bsp_schedule
+from repro.bsp.dfs import dfs_bsp_schedule
+from repro.bsp.schedule import BspSchedule
+from repro.cache.conversion import TwoStageConverter, two_stage_schedule
+from repro.cache.policies import ClairvoyantPolicy, FifoPolicy, LruPolicy
+from repro.dag.analysis import assign_random_memory_weights
+from repro.dag.generators import chain_dag, iterated_spmv, random_layered_dag, spmv
+from repro.exceptions import InfeasibleInstanceError, ScheduleError
+from repro.model.cost import synchronous_cost
+from repro.model.instance import make_instance
+from repro.model.validation import validate_schedule
+
+
+DAGS = [
+    ("spmv", lambda: spmv(5, seed=3)),
+    ("exp", lambda: iterated_spmv(4, 2, seed=1)),
+    ("layered", lambda: random_layered_dag(4, 4, seed=7)),
+    ("chain", lambda: chain_dag(10)),
+]
+POLICIES = [ClairvoyantPolicy, LruPolicy, FifoPolicy]
+
+
+@pytest.mark.parametrize("name,builder", DAGS)
+@pytest.mark.parametrize("policy_cls", POLICIES)
+@pytest.mark.parametrize("procs,factor", [(1, 3.0), (2, 3.0), (4, 3.0), (2, 1.0)])
+def test_conversion_produces_valid_schedules(name, builder, policy_cls, procs, factor):
+    """The central integration test: every combination yields a valid schedule."""
+    dag = builder()
+    assign_random_memory_weights(dag, seed=13)
+    instance = make_instance(dag, num_processors=procs, cache_factor=factor, g=1, L=10)
+    bsp = greedy_bsp_schedule(dag, procs)
+    schedule = two_stage_schedule(bsp, instance, policy_cls())
+    report = validate_schedule(schedule)
+    # the baseline never recomputes and computes every node exactly once
+    computable = sum(1 for v in dag.nodes if not dag.is_source(v))
+    assert report.num_computes == computable
+    assert report.recomputed_nodes == 0
+
+
+class TestConversionBasics:
+    def test_minimal_cache_still_feasible(self, small_spmv):
+        instance = make_instance(small_spmv, num_processors=2, cache_factor=1.0, g=1, L=10)
+        bsp = greedy_bsp_schedule(small_spmv, 2)
+        schedule = two_stage_schedule(bsp, instance, ClairvoyantPolicy())
+        validate_schedule(schedule)
+
+    def test_infeasible_cache_rejected(self, small_spmv):
+        instance = make_instance(small_spmv, num_processors=2, cache_factor=0.4, g=1, L=10)
+        bsp = greedy_bsp_schedule(small_spmv, 2)
+        with pytest.raises(InfeasibleInstanceError):
+            two_stage_schedule(bsp, instance, ClairvoyantPolicy())
+
+    def test_processor_count_mismatch_rejected(self, small_spmv):
+        instance = make_instance(small_spmv, num_processors=4, cache_factor=3.0)
+        bsp = greedy_bsp_schedule(small_spmv, 2)
+        with pytest.raises(ScheduleError):
+            two_stage_schedule(bsp, instance)
+
+    def test_single_processor_dfs_pipeline(self, small_spmv):
+        instance = make_instance(small_spmv, num_processors=1, cache_factor=3.0, g=1, L=10)
+        schedule = two_stage_schedule(dfs_bsp_schedule(small_spmv), instance)
+        validate_schedule(schedule)
+
+    def test_default_policy_is_clairvoyant(self, small_spmv):
+        instance = make_instance(small_spmv, num_processors=2, cache_factor=3.0)
+        bsp = greedy_bsp_schedule(small_spmv, 2)
+        converter = TwoStageConverter()
+        schedule = converter.convert(bsp, instance)
+        validate_schedule(schedule)
+
+
+class TestCachePressureBehaviour:
+    def test_larger_cache_never_more_io(self):
+        """With the clairvoyant policy, more cache means at most as much I/O."""
+        dag = iterated_spmv(4, 3, seed=5)
+        assign_random_memory_weights(dag, seed=5)
+        bsp = greedy_bsp_schedule(dag, 2)
+        volumes = []
+        for factor in (1.0, 3.0, 10.0):
+            instance = make_instance(dag, num_processors=2, cache_factor=factor, g=1, L=10)
+            schedule = two_stage_schedule(bsp, instance, ClairvoyantPolicy())
+            validate_schedule(schedule)
+            volumes.append(schedule.total_io_volume())
+        assert volumes[0] >= volumes[1] >= volumes[2]
+
+    def test_clairvoyant_not_worse_than_lru_on_average(self):
+        """Clairvoyant is the offline-optimal eviction rule for unit weights."""
+        wins = 0
+        total = 0
+        for seed in range(4):
+            dag = random_layered_dag(4, 4, seed=seed)
+            instance = make_instance(dag, num_processors=2, cache_factor=1.5, g=1, L=0)
+            bsp = greedy_bsp_schedule(dag, 2)
+            clair = synchronous_cost(two_stage_schedule(bsp, instance, ClairvoyantPolicy()))
+            lru = synchronous_cost(two_stage_schedule(bsp, instance, LruPolicy()))
+            total += 1
+            if clair <= lru + 1e-9:
+                wins += 1
+        assert wins >= total - 1
+
+    def test_sink_values_are_saved(self, small_spmv):
+        instance = make_instance(small_spmv, num_processors=2, cache_factor=3.0)
+        bsp = greedy_bsp_schedule(small_spmv, 2)
+        schedule = two_stage_schedule(bsp, instance)
+        saved = set()
+        for step in schedule.supersteps:
+            for ps in step.processor_steps:
+                saved.update(ps.save_phase)
+        assert set(small_spmv.sinks()) <= saved
+
+    def test_required_in_slow_memory_extension(self, diamond_dag):
+        instance = make_instance(diamond_dag, num_processors=1, cache_factor=3.0)
+        bsp = BspSchedule(diamond_dag, 1)
+        bsp.assign("b", 0, 0)
+        bsp.assign("c", 0, 0)
+        bsp.assign("d", 0, 0)
+        schedule = two_stage_schedule(
+            bsp, instance, ClairvoyantPolicy(), required_in_slow_memory={"b"}
+        )
+        validate_schedule(schedule)
+        saved = set()
+        for step in schedule.supersteps:
+            for ps in step.processor_steps:
+                saved.update(ps.save_phase)
+        assert "b" in saved and "d" in saved

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.analysis import assign_random_memory_weights
+from repro.dag.generators import (
+    chain_dag,
+    fork_join_dag,
+    iterated_spmv,
+    kmeans,
+    knn_iteration,
+    random_layered_dag,
+    spmv,
+)
+from repro.dag.graph import ComputationalDag
+from repro.ilp import SolverOptions
+from repro.model.instance import MbspInstance, make_instance
+
+
+@pytest.fixture
+def diamond_dag() -> ComputationalDag:
+    """The smallest interesting DAG: a diamond a -> {b, c} -> d."""
+    dag = ComputationalDag(name="diamond")
+    dag.add_node("a", omega=1, mu=1)
+    dag.add_node("b", omega=2, mu=1)
+    dag.add_node("c", omega=3, mu=2)
+    dag.add_node("d", omega=1, mu=1)
+    dag.add_edge("a", "b")
+    dag.add_edge("a", "c")
+    dag.add_edge("b", "d")
+    dag.add_edge("c", "d")
+    return dag
+
+
+@pytest.fixture
+def small_spmv() -> ComputationalDag:
+    """A small SpMV DAG with random memory weights (deterministic seed)."""
+    dag = spmv(4, seed=1)
+    assign_random_memory_weights(dag, seed=7)
+    return dag
+
+
+@pytest.fixture
+def medium_dag() -> ComputationalDag:
+    """A medium layered random DAG for scheduler integration tests."""
+    return random_layered_dag(num_layers=5, width=4, edge_probability=0.5, seed=3)
+
+
+@pytest.fixture
+def small_instance(small_spmv) -> MbspInstance:
+    """Default instance: P=2, r=3*r0, g=1, L=10 on the small SpMV DAG."""
+    return make_instance(small_spmv, num_processors=2, cache_factor=3.0, g=1.0, L=10.0)
+
+
+@pytest.fixture
+def four_proc_instance(medium_dag) -> MbspInstance:
+    return make_instance(medium_dag, num_processors=4, cache_factor=3.0, g=1.0, L=10.0)
+
+
+@pytest.fixture
+def fast_solver_options() -> SolverOptions:
+    """Solver options with a short time limit for unit tests."""
+    return SolverOptions(time_limit=5.0)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running solver tests")

@@ -1,0 +1,104 @@
+"""Tests for the construction of the MBSP ILP model (no solving here)."""
+
+import pytest
+
+from repro.core.full_ilp import BoundaryConditions, MbspIlpBuilder, MbspIlpConfig
+from repro.dag.generators import chain_dag, spmv
+from repro.exceptions import ConfigurationError
+from repro.ilp import SolverOptions
+from repro.model.instance import make_instance
+
+
+@pytest.fixture
+def chain_instance():
+    dag = chain_dag(4)
+    return make_instance(dag, num_processors=2, cache_factor=3.0, g=1, L=5)
+
+
+class TestModelShape:
+    def test_variable_classes_created(self, chain_instance):
+        builder = MbspIlpBuilder(chain_instance)
+        model, variables = builder.build(num_steps=6)
+        n = chain_instance.dag.num_nodes
+        computable = n - 1
+        P = 2
+        assert len(variables.compute) == computable * P * 6
+        assert len(variables.save) == n * P * 6
+        assert len(variables.load) == n * P * 6
+        assert len(variables.hasred) == n * P * 6
+        # sources are permanently blue, so only non-sources get blue variables
+        assert len(variables.hasblue) == (n - 1) * 6
+        assert model.num_variables > 0
+        assert model.num_constraints > 0
+
+    def test_step_count_scales_model(self, chain_instance):
+        builder = MbspIlpBuilder(chain_instance)
+        small, _ = builder.build(num_steps=4)
+        large, _ = builder.build(num_steps=8)
+        assert large.num_variables > small.num_variables
+
+    def test_synchronous_has_phase_variables(self, chain_instance):
+        builder = MbspIlpBuilder(chain_instance, MbspIlpConfig(synchronous=True))
+        _, variables = builder.build(num_steps=5)
+        assert len(variables.compphase) == 5
+        assert len(variables.commends) == 5
+        assert variables.makespan is None
+
+    def test_asynchronous_has_makespan(self, chain_instance):
+        builder = MbspIlpBuilder(chain_instance, MbspIlpConfig(synchronous=False))
+        _, variables = builder.build(num_steps=5)
+        assert variables.makespan is not None
+        assert variables.compphase == []
+
+    def test_no_recompute_adds_constraints(self, chain_instance):
+        base = MbspIlpBuilder(chain_instance, MbspIlpConfig(allow_recomputation=True))
+        restricted = MbspIlpBuilder(chain_instance, MbspIlpConfig(allow_recomputation=False))
+        m1, _ = base.build(5)
+        m2, _ = restricted.build(5)
+        assert m2.num_constraints > m1.num_constraints
+
+    def test_cutoff_adds_constraint(self, chain_instance):
+        without = MbspIlpBuilder(chain_instance, MbspIlpConfig()).build(4)[0]
+        with_cutoff = MbspIlpBuilder(chain_instance, MbspIlpConfig(cutoff=100.0)).build(4)[0]
+        assert with_cutoff.num_constraints == without.num_constraints + 1
+
+    def test_invalid_step_count(self, chain_instance):
+        builder = MbspIlpBuilder(chain_instance)
+        with pytest.raises(ConfigurationError):
+            builder.build(0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            MbspIlpConfig(max_steps=0)
+        with pytest.raises(ConfigurationError):
+            MbspIlpConfig(extra_steps=-1)
+
+
+class TestBoundaryConditions:
+    def test_initial_blue_removes_hasblue_variables(self, chain_instance):
+        builder = MbspIlpBuilder(
+            chain_instance,
+            boundary=BoundaryConditions(initial_blue={1}),
+        )
+        _, variables = builder.build(5)
+        assert all(key[0] != 1 for key in variables.hasblue)
+
+    def test_required_blue_accepted(self, chain_instance):
+        builder = MbspIlpBuilder(
+            chain_instance,
+            boundary=BoundaryConditions(required_blue={2}),
+        )
+        model, _ = builder.build(5)
+        assert model.num_constraints > 0
+
+    def test_initial_red_is_constant_state(self, chain_instance):
+        boundary = BoundaryConditions(initial_red={0: {0}})
+        builder = MbspIlpBuilder(chain_instance, boundary=boundary)
+        assert builder.initial_red(0) == {0}
+        assert builder.initial_red(1) == set()
+
+    def test_helper_sets(self, chain_instance):
+        builder = MbspIlpBuilder(chain_instance)
+        assert builder.initial_blue() == {0}
+        assert builder.required_blue() == {3}
+        assert set(builder.computable_nodes()) == {1, 2, 3}

@@ -1,0 +1,106 @@
+"""End-to-end tests of the holistic ILP scheduler (small instances only)."""
+
+import pytest
+
+from repro.core.full_ilp import MbspIlpConfig
+from repro.core.scheduler import MbspIlpScheduler, estimate_time_steps, schedule_mbsp
+from repro.core.two_stage import baseline_schedule
+from repro.dag.analysis import assign_random_memory_weights
+from repro.dag.generators import chain_dag, fork_join_dag, kmeans, spmv
+from repro.exceptions import ConfigurationError
+from repro.ilp import SolverOptions
+from repro.model.cost import asynchronous_cost, synchronous_cost
+from repro.model.instance import make_instance
+from repro.model.validation import validate_schedule
+
+
+def tiny_instance(num_processors=2, cache_factor=3.0, L=10.0):
+    dag = fork_join_dag(width=3, stages=1)
+    assign_random_memory_weights(dag, seed=3)
+    return make_instance(dag, num_processors=num_processors, cache_factor=cache_factor, g=1, L=L)
+
+
+FAST = MbspIlpConfig(solver_options=SolverOptions(time_limit=10.0))
+
+
+class TestEstimateTimeSteps:
+    def test_derived_from_supersteps(self, small_instance):
+        base = baseline_schedule(small_instance)
+        steps = estimate_time_steps(base.mbsp_schedule, extra_steps=2, step_cap=100)
+        assert steps == 2 * base.mbsp_schedule.num_supersteps + 2
+
+    def test_cap_applied(self, small_instance):
+        base = baseline_schedule(small_instance)
+        assert estimate_time_steps(base.mbsp_schedule, step_cap=6) <= 6
+
+    def test_minimum_of_four(self, small_instance):
+        base = baseline_schedule(small_instance)
+        assert estimate_time_steps(base.mbsp_schedule, step_cap=1) >= 4
+
+
+class TestIlpScheduler:
+    def test_never_worse_than_baseline_synchronous(self):
+        instance = tiny_instance()
+        result = MbspIlpScheduler(FAST).schedule(instance)
+        assert result.best_cost <= result.baseline.cost + 1e-9
+        assert result.improvement_ratio <= 1.0 + 1e-9
+        validate_schedule(result.best_schedule, require_all_computed=False)
+        assert synchronous_cost(result.best_schedule) == pytest.approx(result.best_cost)
+
+    def test_finds_improvement_on_easy_instance(self):
+        """The fork-join gadget has an obviously better schedule than the
+        superstep-heavy baseline; 10 seconds are plenty for HiGHS here."""
+        instance = tiny_instance()
+        result = MbspIlpScheduler(FAST).schedule(instance)
+        assert result.ilp_cost is not None
+        assert result.ilp_cost < result.baseline.cost
+
+    def test_asynchronous_mode(self):
+        instance = tiny_instance(L=0.0)
+        config = MbspIlpConfig(synchronous=False, solver_options=SolverOptions(time_limit=10.0))
+        result = MbspIlpScheduler(config).schedule(instance)
+        validate_schedule(result.best_schedule, require_all_computed=False)
+        assert result.best_cost == pytest.approx(
+            asynchronous_cost(result.best_schedule)
+        )
+        assert result.best_cost <= result.baseline.cost + 1e-9
+
+    def test_no_recomputation_mode(self):
+        instance = tiny_instance()
+        config = MbspIlpConfig(
+            allow_recomputation=False, solver_options=SolverOptions(time_limit=8.0)
+        )
+        result = MbspIlpScheduler(config).schedule(instance)
+        if result.ilp_schedule is not None:
+            assert result.ilp_schedule.recomputation_count() == 0
+
+    def test_zero_time_budget_falls_back_to_baseline(self):
+        instance = tiny_instance()
+        config = MbspIlpConfig(solver_options=SolverOptions(time_limit=0.01))
+        result = MbspIlpScheduler(config).schedule(instance)
+        assert result.best_cost == result.baseline.cost
+
+    def test_explicit_baseline_reused(self):
+        instance = tiny_instance()
+        base = baseline_schedule(instance)
+        result = MbspIlpScheduler(FAST).schedule(instance, baseline=base)
+        assert result.baseline is base
+
+
+class TestScheduleMbspEntryPoint:
+    def test_baseline_method(self, small_instance):
+        schedule = schedule_mbsp(small_instance, method="baseline")
+        validate_schedule(schedule)
+
+    def test_practical_method(self, small_instance):
+        schedule = schedule_mbsp(small_instance, method="practical")
+        validate_schedule(schedule)
+
+    def test_ilp_method(self):
+        instance = tiny_instance()
+        schedule = schedule_mbsp(instance, method="ilp", config=FAST)
+        validate_schedule(schedule, require_all_computed=False)
+
+    def test_unknown_method(self, small_instance):
+        with pytest.raises(ConfigurationError):
+            schedule_mbsp(small_instance, method="quantum")

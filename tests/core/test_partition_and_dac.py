@@ -1,0 +1,126 @@
+"""Tests for acyclic partitioning, quotient planning and divide-and-conquer."""
+
+import pytest
+
+from repro.core.acyclic_partition import (
+    PartitionConfig,
+    ilp_acyclic_bipartition,
+    recursive_acyclic_partition,
+    topological_sweep_bipartition,
+)
+from repro.core.divide_conquer import DivideAndConquerScheduler
+from repro.core.full_ilp import MbspIlpConfig
+from repro.core.quotient import build_quotient_dag, plan_subproblems
+from repro.dag.analysis import assign_random_memory_weights, edge_cut
+from repro.dag.generators import chain_dag, iterated_spmv, random_layered_dag, simple_pagerank
+from repro.exceptions import ConfigurationError
+from repro.ilp import SolverOptions
+from repro.model.cost import synchronous_cost
+from repro.model.instance import make_instance
+from repro.model.validation import validate_schedule
+
+
+def _is_acyclic_bipartition(dag, parts):
+    return all(parts[u] <= parts[v] for u, v in dag.edges())
+
+
+class TestBipartitioning:
+    def test_topological_sweep_is_acyclic_and_balanced(self, medium_dag):
+        parts = topological_sweep_bipartition(medium_dag, balance_fraction=1 / 3)
+        assert _is_acyclic_bipartition(medium_dag, parts)
+        sizes = [sum(1 for p in parts.values() if p == i) for i in (0, 1)]
+        assert min(sizes) >= medium_dag.num_nodes // 3
+
+    def test_ilp_bipartition_acyclic_and_not_worse_than_sweep(self, medium_dag):
+        config = PartitionConfig(solver_options=SolverOptions(time_limit=5))
+        parts = ilp_acyclic_bipartition(medium_dag, config)
+        assert _is_acyclic_bipartition(medium_dag, parts)
+        sweep = topological_sweep_bipartition(medium_dag, 1 / 3)
+        assert edge_cut(medium_dag, parts) <= edge_cut(medium_dag, sweep)
+
+    def test_ilp_disabled_falls_back(self, medium_dag):
+        config = PartitionConfig(use_ilp=False)
+        parts = ilp_acyclic_bipartition(medium_dag, config)
+        assert _is_acyclic_bipartition(medium_dag, parts)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            PartitionConfig(balance_fraction=0.8)
+        with pytest.raises(ConfigurationError):
+            PartitionConfig(max_part_size=1)
+
+
+class TestRecursivePartition:
+    def test_parts_respect_size_limit(self):
+        dag = random_layered_dag(6, 5, seed=2)
+        partition = recursive_acyclic_partition(dag, PartitionConfig(max_part_size=8))
+        assert max(partition.part_sizes()) <= 8
+        assert sum(partition.part_sizes()) == dag.num_nodes
+
+    def test_part_order_is_topological(self):
+        dag = random_layered_dag(6, 5, seed=4)
+        partition = recursive_acyclic_partition(dag, PartitionConfig(max_part_size=8))
+        for u, v in dag.edges():
+            assert partition.parts[u] <= partition.parts[v]
+
+    def test_small_dag_single_part(self, diamond_dag):
+        partition = recursive_acyclic_partition(diamond_dag, PartitionConfig(max_part_size=10))
+        assert partition.num_parts == 1
+
+
+class TestQuotient:
+    def test_quotient_weights_are_summed(self):
+        dag = chain_dag(6, omega=2.0, mu=1.0)
+        partition = recursive_acyclic_partition(dag, PartitionConfig(max_part_size=3, use_ilp=False))
+        quotient = build_quotient_dag(dag, partition)
+        assert quotient.num_nodes == partition.num_parts
+        assert sum(quotient.omega(p) for p in quotient.nodes) == pytest.approx(12.0)
+        assert quotient.is_acyclic()
+
+    def test_plan_covers_all_parts_and_processors(self):
+        dag = random_layered_dag(6, 6, seed=9)
+        partition = recursive_acyclic_partition(dag, PartitionConfig(max_part_size=10, use_ilp=False))
+        quotient = build_quotient_dag(dag, partition)
+        plans = plan_subproblems(quotient, num_processors=4)
+        assert {plan.part for plan in plans} == set(range(partition.num_parts))
+        for plan in plans:
+            assert plan.processors
+            assert all(0 <= p < 4 for p in plan.processors)
+
+    def test_lone_part_gets_all_processors(self, diamond_dag):
+        partition = recursive_acyclic_partition(diamond_dag, PartitionConfig(max_part_size=10))
+        quotient = build_quotient_dag(diamond_dag, partition)
+        plans = plan_subproblems(quotient, num_processors=4)
+        assert plans[0].processors == [0, 1, 2, 3]
+
+
+class TestDivideAndConquer:
+    @pytest.mark.slow
+    def test_end_to_end_valid_schedule(self):
+        dag = simple_pagerank(num_blocks=3, iterations=3, seed=1)
+        assign_random_memory_weights(dag, seed=1)
+        instance = make_instance(dag, num_processors=2, cache_factor=5.0, g=1, L=10)
+        scheduler = DivideAndConquerScheduler(
+            ilp_config=MbspIlpConfig(solver_options=SolverOptions(time_limit=3.0)),
+            partition_config=PartitionConfig(max_part_size=15),
+        )
+        result = scheduler.schedule(instance)
+        validate_schedule(result.dac_schedule, require_all_computed=False)
+        assert result.dac_cost == pytest.approx(synchronous_cost(result.dac_schedule))
+        assert result.partition.num_parts >= 2
+        assert result.best_cost <= result.baseline.cost + 1e-9
+        assert len(result.subproblems) == result.partition.num_parts
+
+    @pytest.mark.slow
+    def test_subproblem_outputs_reach_slow_memory(self):
+        dag = iterated_spmv(4, 2, seed=2)
+        assign_random_memory_weights(dag, seed=2)
+        instance = make_instance(dag, num_processors=2, cache_factor=5.0, g=1, L=10)
+        scheduler = DivideAndConquerScheduler(
+            ilp_config=MbspIlpConfig(solver_options=SolverOptions(time_limit=2.0)),
+            partition_config=PartitionConfig(max_part_size=12),
+        )
+        result = scheduler.schedule(instance)
+        # validity of the concatenated schedule already implies every
+        # cross-part value was saved before it was loaded
+        validate_schedule(result.dac_schedule, require_all_computed=False)

@@ -1,0 +1,75 @@
+"""Tests of the two-stage pipeline wrappers."""
+
+import pytest
+
+from repro.core.two_stage import (
+    baseline_schedule,
+    practical_baseline_schedule,
+    run_two_stage,
+)
+from repro.dag.analysis import assign_random_memory_weights
+from repro.dag.generators import spmv
+from repro.exceptions import ConfigurationError
+from repro.model.cost import asynchronous_cost, synchronous_cost
+from repro.model.instance import make_instance
+from repro.model.validation import validate_schedule
+
+
+class TestRunTwoStage:
+    @pytest.mark.parametrize("scheduler", ["bspg", "cilk"])
+    @pytest.mark.parametrize("policy", ["clairvoyant", "lru", "fifo"])
+    def test_all_combinations_valid(self, small_instance, scheduler, policy):
+        result = run_two_stage(small_instance, scheduler=scheduler, policy=policy)
+        validate_schedule(result.mbsp_schedule)
+        assert result.cost == pytest.approx(synchronous_cost(result.mbsp_schedule))
+        assert result.scheduler_name == scheduler
+        assert result.policy_name == policy
+
+    def test_asynchronous_cost_reported(self, small_instance):
+        result = run_two_stage(small_instance, synchronous=False)
+        assert result.cost == pytest.approx(asynchronous_cost(result.mbsp_schedule))
+
+    def test_dfs_requires_single_processor(self, small_instance):
+        with pytest.raises(ConfigurationError):
+            run_two_stage(small_instance, scheduler="dfs")
+
+    def test_dfs_on_single_processor(self, small_spmv):
+        instance = make_instance(small_spmv, num_processors=1, cache_factor=3.0)
+        result = run_two_stage(instance, scheduler="dfs")
+        validate_schedule(result.mbsp_schedule)
+
+    def test_unknown_scheduler(self, small_instance):
+        with pytest.raises(ConfigurationError):
+            run_two_stage(small_instance, scheduler="magic")
+
+
+class TestNamedBaselines:
+    def test_main_baseline(self, small_instance):
+        result = baseline_schedule(small_instance)
+        assert result.scheduler_name == "bspg"
+        assert result.policy_name == "clairvoyant"
+        validate_schedule(result.mbsp_schedule)
+
+    def test_main_baseline_switches_to_dfs_for_p1(self, small_spmv):
+        instance = make_instance(small_spmv, num_processors=1, cache_factor=3.0)
+        result = baseline_schedule(instance)
+        assert result.scheduler_name == "dfs"
+
+    def test_practical_baseline(self, small_instance):
+        result = practical_baseline_schedule(small_instance)
+        assert result.scheduler_name == "cilk"
+        assert result.policy_name == "lru"
+        validate_schedule(result.mbsp_schedule)
+
+    def test_practical_usually_not_better_than_main(self):
+        """Cilk+LRU should rarely beat BSPg+clairvoyant (paper Section 7.2)."""
+        wins = 0
+        for seed in range(3):
+            dag = spmv(5, seed=seed)
+            assign_random_memory_weights(dag, seed=seed)
+            instance = make_instance(dag, num_processors=2, cache_factor=3.0, g=1, L=10)
+            main = baseline_schedule(instance).cost
+            weak = practical_baseline_schedule(instance).cost
+            if weak < main - 1e-9:
+                wins += 1
+        assert wins <= 1

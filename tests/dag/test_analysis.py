@@ -1,0 +1,104 @@
+"""Unit tests for DAG analysis helpers."""
+
+import pytest
+
+from repro.dag.analysis import (
+    assign_random_memory_weights,
+    critical_path_length,
+    dag_statistics,
+    edge_cut,
+    io_lower_bound,
+    longest_chain,
+    minimum_cache_size,
+    node_levels,
+    weighted_edge_cut,
+    work_lower_bound,
+)
+from repro.dag.generators import chain_dag, fork_join_dag, random_layered_dag, spmv
+from repro.dag.graph import ComputationalDag
+
+
+class TestMinimumCacheSize:
+    def test_diamond(self, diamond_dag):
+        # node d needs b (1) + c (2) + its own output (1) = 4
+        assert minimum_cache_size(diamond_dag) == 4
+
+    def test_chain_uniform(self):
+        dag = chain_dag(5, mu=2.0)
+        # each node needs its parent (2) plus itself (2)
+        assert minimum_cache_size(dag) == 4.0
+
+    def test_single_source_node(self):
+        dag = ComputationalDag()
+        dag.add_node(0, mu=7)
+        assert minimum_cache_size(dag) == 7
+
+    def test_monotone_in_fanin(self):
+        small = fork_join_dag(width=2)
+        large = fork_join_dag(width=5)
+        assert minimum_cache_size(large) >= minimum_cache_size(small)
+
+
+class TestLevelsAndPaths:
+    def test_node_levels_diamond(self, diamond_dag):
+        levels = node_levels(diamond_dag)
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_critical_path_diamond(self, diamond_dag):
+        # longest weighted path skips the source weight: c (3) + d (1)
+        assert critical_path_length(diamond_dag) == 4
+
+    def test_critical_path_chain(self):
+        dag = chain_dag(6, omega=2.0)
+        # 5 computed nodes (the source is loaded, not computed)
+        assert critical_path_length(dag) == 10.0
+
+    def test_longest_chain_is_a_path(self, medium_dag):
+        chain = longest_chain(medium_dag)
+        for u, v in zip(chain, chain[1:]):
+            assert v in medium_dag.children(u)
+
+    def test_work_lower_bound(self, diamond_dag):
+        assert work_lower_bound(diamond_dag, 1) == diamond_dag.total_work()
+        assert work_lower_bound(diamond_dag, 2) >= critical_path_length(diamond_dag)
+        with pytest.raises(ValueError):
+            work_lower_bound(diamond_dag, 0)
+
+
+class TestBoundsAndCuts:
+    def test_io_lower_bound(self, diamond_dag):
+        # load the source (mu 1) and save the sink (mu 1), g = 2
+        assert io_lower_bound(diamond_dag, g=2.0) == 4.0
+
+    def test_edge_cut_counts(self, diamond_dag):
+        parts = {"a": 0, "b": 0, "c": 1, "d": 1}
+        assert edge_cut(diamond_dag, parts) == 2  # a->c and b->d
+        assert weighted_edge_cut(diamond_dag, parts) == diamond_dag.mu("a") + diamond_dag.mu("b")
+
+
+class TestRandomMemoryWeights:
+    def test_weights_in_range_and_deterministic(self, small_spmv):
+        dag = spmv(5, seed=3)
+        assign_random_memory_weights(dag, low=1, high=5, seed=11)
+        values = [dag.mu(v) for v in dag.nodes]
+        assert all(1 <= v <= 5 for v in values)
+        dag2 = spmv(5, seed=3)
+        assign_random_memory_weights(dag2, low=1, high=5, seed=11)
+        assert [dag2.mu(v) for v in dag2.nodes] == values
+
+    def test_different_seeds_differ(self):
+        dag1 = spmv(6, seed=3)
+        dag2 = spmv(6, seed=3)
+        assign_random_memory_weights(dag1, seed=1)
+        assign_random_memory_weights(dag2, seed=2)
+        assert [dag1.mu(v) for v in dag1.nodes] != [dag2.mu(v) for v in dag2.nodes]
+
+
+class TestStatistics:
+    def test_dag_statistics_keys(self, medium_dag):
+        stats = dag_statistics(medium_dag)
+        for key in ("nodes", "edges", "sources", "sinks", "depth", "total_work", "r0"):
+            assert key in stats
+        assert stats["nodes"] == medium_dag.num_nodes
+        assert stats["edges"] == medium_dag.num_edges
+        assert stats["r0"] == minimum_cache_size(medium_dag)

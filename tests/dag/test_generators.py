@@ -1,0 +1,181 @@
+"""Unit tests for the benchmark DAG generators."""
+
+import pytest
+
+from repro.dag.analysis import minimum_cache_size, node_levels
+from repro.dag.generators import (
+    bicgstab,
+    chain_dag,
+    conjugate_gradient,
+    fork_join_dag,
+    iterated_spmv,
+    kmeans,
+    knn_iteration,
+    pregel,
+    random_dag,
+    random_layered_dag,
+    random_tree,
+    simple_pagerank,
+    snni_graphchallenge,
+    spmv,
+)
+
+ALL_GENERATORS = [
+    ("spmv", lambda: spmv(5, seed=1)),
+    ("iterated_spmv", lambda: iterated_spmv(4, 2, seed=1)),
+    ("cg", lambda: conjugate_gradient(2, 1, seed=1)),
+    ("knn", lambda: knn_iteration(4, 2, seed=1)),
+    ("bicgstab", lambda: bicgstab(2)),
+    ("kmeans", lambda: kmeans(2, 2, 2)),
+    ("pregel", lambda: pregel(3, 3)),
+    ("pagerank", lambda: simple_pagerank(4, 3, seed=1)),
+    ("snni", lambda: snni_graphchallenge(3, 4, seed=1)),
+    ("random_layered", lambda: random_layered_dag(4, 3, seed=1)),
+    ("random", lambda: random_dag(20, seed=1)),
+    ("tree", lambda: random_tree(15, seed=1)),
+    ("chain", lambda: chain_dag(8)),
+    ("fork_join", lambda: fork_join_dag(3, 2)),
+]
+
+
+@pytest.mark.parametrize("name,builder", ALL_GENERATORS)
+class TestGeneratorInvariants:
+    def test_acyclic(self, name, builder):
+        dag = builder()
+        assert dag.is_acyclic()
+
+    def test_nonempty_with_positive_weights(self, name, builder):
+        dag = builder()
+        assert dag.num_nodes > 0
+        for v in dag.nodes:
+            assert dag.omega(v) >= 0
+            assert dag.mu(v) >= 0
+
+    def test_has_sources_and_sinks(self, name, builder):
+        dag = builder()
+        assert dag.sources()
+        assert dag.sinks()
+
+    def test_feasible_minimum_cache(self, name, builder):
+        dag = builder()
+        assert minimum_cache_size(dag) > 0
+
+
+@pytest.mark.parametrize(
+    "name,builder",
+    [(n, b) for n, b in ALL_GENERATORS if n not in ("bicgstab", "kmeans", "pregel", "chain", "fork_join")],
+)
+def test_generators_are_deterministic(name, builder):
+    dag1, dag2 = builder(), builder()
+    assert set(dag1.edges()) == set(dag2.edges())
+    assert [dag1.omega(v) for v in dag1.nodes] == [dag2.omega(v) for v in dag2.nodes]
+
+
+class TestSpmv:
+    def test_node_count_scales_with_dimension(self):
+        assert spmv(8, seed=0).num_nodes > spmv(4, seed=0).num_nodes
+
+    def test_vector_entries_are_sources(self):
+        dag = spmv(5, seed=2)
+        sources = dag.sources()
+        assert len(sources) == 5
+
+    def test_one_sink_per_row(self):
+        dag = spmv(5, seed=2)
+        assert len(dag.sinks()) == 5
+
+
+class TestIteratedSpmv:
+    def test_depth_grows_with_iterations(self):
+        depth1 = max(node_levels(iterated_spmv(4, 1, seed=0)).values())
+        depth3 = max(node_levels(iterated_spmv(4, 3, seed=0)).values())
+        assert depth3 > depth1
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            iterated_spmv(4, 0)
+
+
+class TestConjugateGradient:
+    def test_sources_are_rhs_entries(self):
+        dag = conjugate_gradient(2, 1)
+        assert len(dag.sources()) == 4
+
+    def test_size_grows_with_iterations(self):
+        assert conjugate_gradient(2, 2).num_nodes > conjugate_gradient(2, 1).num_nodes
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            conjugate_gradient(0, 1)
+
+
+class TestKnn:
+    def test_points_are_sources(self):
+        dag = knn_iteration(5, 2, k=2, seed=0)
+        assert len(dag.sources()) == 5
+
+    def test_k_clamped_to_points(self):
+        dag = knn_iteration(3, 1, k=10, seed=0)
+        assert dag.is_acyclic()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            knn_iteration(1, 1)
+
+
+class TestCoarseGrained:
+    def test_bicgstab_grows_with_iterations(self):
+        assert bicgstab(4).num_nodes > bicgstab(2).num_nodes
+
+    def test_kmeans_structure(self):
+        dag = kmeans(num_blocks=3, num_clusters=2, iterations=2)
+        # blocks + initial centroids are sources
+        assert len(dag.sources()) == 5
+
+    def test_pregel_heavy_vertex_compute(self):
+        dag = pregel(2, 2)
+        weights = {dag.omega(v) for v in dag.nodes}
+        assert len(weights) > 1  # heterogeneous compute weights
+
+
+class TestGraphWorkloads:
+    def test_pagerank_iteration_structure(self):
+        dag = simple_pagerank(num_blocks=4, iterations=2, seed=0)
+        assert len(dag.sources()) == 4
+        assert len(dag.sinks()) == 4
+
+    def test_snni_layer_structure(self):
+        dag = snni_graphchallenge(num_blocks=3, num_layers=3, seed=0)
+        assert len(dag.sources()) == 3
+        assert len(dag.sinks()) == 3
+
+
+class TestRandomGenerators:
+    def test_layered_sources_only_in_first_layer(self):
+        dag = random_layered_dag(4, 3, seed=2)
+        assert len(dag.sources()) == 3
+
+    def test_random_tree_single_sink(self):
+        dag = random_tree(20, seed=4)
+        assert len(dag.sinks()) == 1
+
+    def test_chain_shape(self):
+        dag = chain_dag(5)
+        assert dag.num_edges == 4
+        assert len(dag.sources()) == 1
+        assert len(dag.sinks()) == 1
+
+    def test_fork_join_shape(self):
+        dag = fork_join_dag(width=4, stages=2)
+        assert len(dag.sinks()) == 1
+        assert dag.num_nodes == 1 + 2 * (4 + 1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_layered_dag(0, 3)
+        with pytest.raises(ValueError):
+            random_dag(0)
+        with pytest.raises(ValueError):
+            chain_dag(0)
+        with pytest.raises(ValueError):
+            fork_join_dag(0)

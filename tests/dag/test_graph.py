@@ -1,0 +1,173 @@
+"""Unit tests for the computational DAG data structure."""
+
+import pytest
+
+from repro.dag.graph import ComputationalDag, NodeData
+from repro.exceptions import CycleError, GraphError
+
+
+class TestNodeData:
+    def test_defaults(self):
+        data = NodeData()
+        assert data.omega == 1.0
+        assert data.mu == 1.0
+
+    def test_negative_compute_weight_rejected(self):
+        with pytest.raises(GraphError):
+            NodeData(omega=-1.0)
+
+    def test_negative_memory_weight_rejected(self):
+        with pytest.raises(GraphError):
+            NodeData(mu=-0.5)
+
+
+class TestConstruction:
+    def test_add_node_and_weights(self):
+        dag = ComputationalDag()
+        dag.add_node("x", omega=3.5, mu=2.0)
+        assert dag.omega("x") == 3.5
+        assert dag.mu("x") == 2.0
+        assert "x" in dag
+        assert len(dag) == 1
+
+    def test_re_adding_node_updates_weights(self):
+        dag = ComputationalDag()
+        dag.add_node(0, omega=1, mu=1)
+        dag.add_node(0, omega=5, mu=2)
+        assert dag.omega(0) == 5
+        assert dag.num_nodes == 1
+
+    def test_add_edge_unknown_node_raises(self):
+        dag = ComputationalDag()
+        dag.add_node(0)
+        with pytest.raises(GraphError):
+            dag.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            dag.add_edge(1, 0)
+
+    def test_self_loop_rejected(self):
+        dag = ComputationalDag()
+        dag.add_node(0)
+        with pytest.raises(GraphError):
+            dag.add_edge(0, 0)
+
+    def test_duplicate_edge_ignored(self):
+        dag = ComputationalDag()
+        dag.add_node(0)
+        dag.add_node(1)
+        dag.add_edge(0, 1)
+        dag.add_edge(0, 1)
+        assert dag.num_edges == 1
+
+    def test_remove_edge(self):
+        dag = ComputationalDag()
+        dag.add_node(0)
+        dag.add_node(1)
+        dag.add_edge(0, 1)
+        dag.remove_edge(0, 1)
+        assert dag.num_edges == 0
+        assert dag.children(0) == []
+
+    def test_set_weights(self):
+        dag = ComputationalDag()
+        dag.add_node("v", omega=1, mu=1)
+        dag.set_omega("v", 9)
+        dag.set_mu("v", 4)
+        assert dag.omega("v") == 9
+        assert dag.mu("v") == 4
+
+    def test_unknown_node_queries_raise(self):
+        dag = ComputationalDag()
+        with pytest.raises(GraphError):
+            dag.parents("missing")
+        with pytest.raises(GraphError):
+            dag.omega("missing")
+
+
+class TestStructure:
+    def test_sources_and_sinks(self, diamond_dag):
+        assert diamond_dag.sources() == ["a"]
+        assert diamond_dag.sinks() == ["d"]
+        assert diamond_dag.is_source("a")
+        assert diamond_dag.is_sink("d")
+        assert not diamond_dag.is_sink("a")
+
+    def test_parents_children(self, diamond_dag):
+        assert set(diamond_dag.parents("d")) == {"b", "c"}
+        assert set(diamond_dag.children("a")) == {"b", "c"}
+        assert diamond_dag.in_degree("d") == 2
+        assert diamond_dag.out_degree("a") == 2
+
+    def test_topological_order_respects_edges(self, diamond_dag):
+        order = diamond_dag.topological_order()
+        position = {v: i for i, v in enumerate(order)}
+        for u, v in diamond_dag.edges():
+            assert position[u] < position[v]
+
+    def test_topological_order_cached_and_copied(self, diamond_dag):
+        order1 = diamond_dag.topological_order()
+        order1.append("junk")
+        order2 = diamond_dag.topological_order()
+        assert "junk" not in order2
+
+    def test_cycle_detection(self):
+        dag = ComputationalDag()
+        for i in range(3):
+            dag.add_node(i)
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 2)
+        dag.add_edge(2, 0)
+        assert not dag.is_acyclic()
+        with pytest.raises(CycleError):
+            dag.topological_order()
+
+    def test_total_work_excludes_sources(self, diamond_dag):
+        # a is a source (omega 1) and therefore not computed
+        assert diamond_dag.total_work() == 2 + 3 + 1
+
+    def test_total_memory(self, diamond_dag):
+        assert diamond_dag.total_memory() == 1 + 1 + 2 + 1
+
+    def test_ancestors_descendants(self, diamond_dag):
+        assert diamond_dag.ancestors("d") == {"a", "b", "c"}
+        assert diamond_dag.descendants("a") == {"b", "c", "d"}
+        assert diamond_dag.ancestors("a") == set()
+        assert diamond_dag.descendants("d") == set()
+
+    def test_edges_iteration(self, diamond_dag):
+        assert set(diamond_dag.edges()) == {("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")}
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self, diamond_dag):
+        sub = diamond_dag.induced_subgraph(["a", "b", "d"])
+        assert set(sub.nodes) == {"a", "b", "d"}
+        assert set(sub.edges()) == {("a", "b"), ("b", "d")}
+        assert sub.omega("b") == 2
+
+    def test_copy_is_independent(self, diamond_dag):
+        clone = diamond_dag.copy()
+        clone.add_node("extra")
+        assert "extra" not in diamond_dag
+
+    def test_relabeled(self, diamond_dag):
+        mapping = {"a": 0, "b": 1, "c": 2, "d": 3}
+        relabeled = diamond_dag.relabeled(mapping)
+        assert set(relabeled.nodes) == {0, 1, 2, 3}
+        assert (0, 1) in set(relabeled.edges())
+        assert relabeled.mu(2) == diamond_dag.mu("c")
+
+    def test_networkx_roundtrip(self, diamond_dag):
+        g = diamond_dag.to_networkx()
+        back = ComputationalDag.from_networkx(g)
+        assert set(back.nodes) == set(diamond_dag.nodes)
+        assert set(back.edges()) == set(diamond_dag.edges())
+        assert back.omega("c") == diamond_dag.omega("c")
+
+    def test_from_networkx_rejects_cycles(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_edges_from([(0, 1), (1, 0)])
+        with pytest.raises(CycleError):
+            ComputationalDag.from_networkx(g)

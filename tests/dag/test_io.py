@@ -1,0 +1,78 @@
+"""Unit tests for DAG serialization."""
+
+import pytest
+
+from repro.dag import io as dag_io
+from repro.dag.generators import random_layered_dag, spmv
+from repro.exceptions import GraphError
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_structure(self, tmp_path, small_spmv):
+        path = tmp_path / "dag.json"
+        dag_io.save_json(small_spmv, path)
+        loaded = dag_io.load_json(path)
+        assert set(loaded.nodes) == set(small_spmv.nodes)
+        assert set(loaded.edges()) == set(small_spmv.edges())
+        for v in small_spmv.nodes:
+            assert loaded.omega(v) == small_spmv.omega(v)
+            assert loaded.mu(v) == small_spmv.mu(v)
+
+    def test_dict_roundtrip(self, diamond_dag):
+        data = dag_io.dag_to_dict(diamond_dag)
+        back = dag_io.dag_from_dict(data)
+        assert set(back.edges()) == set(diamond_dag.edges())
+        assert back.name == diamond_dag.name
+
+
+class TestTextRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        dag = random_layered_dag(3, 3, seed=5)
+        path = tmp_path / "dag.dag"
+        dag_io.save_text(dag, path)
+        loaded = dag_io.load_text(path)
+        assert loaded.num_nodes == dag.num_nodes
+        assert loaded.num_edges == dag.num_edges
+        # node ids are remapped to 0..n-1 in insertion order, weights preserved
+        for original, restored in zip(dag.nodes, loaded.nodes):
+            assert loaded.omega(restored) == dag.omega(original)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        content = "% comment\n\n2 1\n0 1 2\n1 3 4\n0 1\n"
+        path = tmp_path / "with_comments.dag"
+        path.write_text(content)
+        dag = dag_io.load_text(path)
+        assert dag.num_nodes == 2
+        assert dag.num_edges == 1
+        assert dag.mu(1) == 4
+
+    def test_malformed_header_raises(self, tmp_path):
+        path = tmp_path / "bad.dag"
+        path.write_text("notanumber\n")
+        with pytest.raises(GraphError):
+            dag_io.load_text(path)
+
+    def test_wrong_line_count_raises(self, tmp_path):
+        path = tmp_path / "bad2.dag"
+        path.write_text("2 1\n0 1 1\n")
+        with pytest.raises(GraphError):
+            dag_io.load_text(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.dag"
+        path.write_text("")
+        with pytest.raises(GraphError):
+            dag_io.load_text(path)
+
+
+class TestDispatch:
+    def test_save_load_dispatch_json(self, tmp_path, diamond_dag):
+        path = tmp_path / "d.json"
+        dag_io.save(diamond_dag, path)
+        assert dag_io.load(path).num_nodes == 4
+
+    def test_save_load_dispatch_text(self, tmp_path):
+        dag = spmv(3, seed=0)
+        path = tmp_path / "d.dag"
+        dag_io.save(dag, path)
+        assert dag_io.load(path).num_edges == dag.num_edges

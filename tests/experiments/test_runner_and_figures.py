@@ -1,0 +1,126 @@
+"""Tests for the experiment runner, tables and figures.
+
+ILP-solving runs use very short time limits here: the point is to exercise
+the harness end to end (valid schedules, correct bookkeeping), not to obtain
+good solutions — that is what the benchmarks are for.
+"""
+
+import pytest
+
+from repro.experiments.figures import RatioSeries, render_figure4, theorem41_comparison
+from repro.experiments.runner import (
+    ExperimentConfig,
+    dataset_limit,
+    dataset_scale,
+    run_divide_and_conquer_instance,
+    run_instance,
+    run_instance_with_baselines,
+)
+from repro.experiments.tables import geomean_summary, table4_configurations
+from repro.dag.generators import fork_join_dag, simple_pagerank
+from repro.dag.analysis import assign_random_memory_weights
+
+
+@pytest.fixture
+def tiny_dag():
+    dag = fork_join_dag(width=3, stages=1)
+    assign_random_memory_weights(dag, seed=1)
+    dag.name = "tiny_forkjoin"
+    return dag
+
+
+FAST = ExperimentConfig(name="test", num_processors=2, ilp_time_limit=1.0)
+
+
+class TestExperimentConfig:
+    def test_instance_construction(self, tiny_dag):
+        instance = FAST.instance_for(tiny_dag)
+        assert instance.num_processors == 2
+        assert instance.cache_size == pytest.approx(3.0 * instance.minimum_cache_size())
+
+    def test_variant(self):
+        variant = FAST.variant(name="async", synchronous=False, cache_factor=5.0)
+        assert variant.synchronous is False
+        assert variant.cache_factor == 5.0
+        assert FAST.synchronous is True  # original untouched
+
+    def test_ilp_config_propagates_settings(self):
+        config = FAST.variant(allow_recomputation=False, step_cap=8)
+        ilp = config.ilp_config()
+        assert ilp.allow_recomputation is False
+        assert ilp.max_steps == 8
+        assert ilp.solver_options.time_limit == 1.0
+
+    def test_table4_configurations(self):
+        configs = table4_configurations(FAST)
+        assert set(configs) == {"base", "r5", "r1", "p8", "L0", "async"}
+        assert configs["r5"].cache_factor == 5.0
+        assert configs["p8"].num_processors == 8
+        assert configs["L0"].L == 0.0
+        assert configs["async"].synchronous is False
+
+    def test_env_knob_helpers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert dataset_scale() == "paper"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+        assert dataset_scale() == "default"
+        monkeypatch.setenv("REPRO_BENCH_LIMIT", "3")
+        assert dataset_limit() == 3
+        monkeypatch.setenv("REPRO_BENCH_LIMIT", "xyz")
+        assert dataset_limit() is None
+
+
+class TestRunners:
+    def test_run_instance_reports_consistent_costs(self, tiny_dag):
+        result = run_instance(tiny_dag, FAST)
+        assert result.instance_name == "tiny_forkjoin"
+        assert result.baseline_cost > 0
+        assert result.ilp_cost <= result.baseline_cost + 1e-9
+        assert 0 < result.ratio <= 1.0 + 1e-9
+
+    def test_run_instance_with_baselines_extra_columns(self, tiny_dag):
+        result = run_instance_with_baselines(tiny_dag, FAST)
+        for key in ("weak", "bsp_ilp", "bsp_ilp_plus_ilp"):
+            assert key in result.extra_costs
+            assert result.extra_costs[key] > 0
+
+    @pytest.mark.slow
+    def test_run_divide_and_conquer_instance(self):
+        dag = simple_pagerank(num_blocks=3, iterations=2, seed=3)
+        assign_random_memory_weights(dag, seed=3)
+        dag.name = "tiny_pagerank"
+        config = ExperimentConfig(name="dac_test", num_processors=2, cache_factor=5.0, ilp_time_limit=1.0)
+        result = run_divide_and_conquer_instance(dag, config, max_part_size=10)
+        assert result.baseline_cost > 0
+        assert result.ilp_cost > 0
+        assert result.extra_costs["parts"] >= 1
+
+    def test_geomean_summary(self, tiny_dag):
+        result = run_instance(tiny_dag, FAST)
+        summary = geomean_summary({"base": [result]})
+        assert summary["base"] == pytest.approx(result.ratio)
+
+
+class TestFigures:
+    def test_theorem41_comparison_growing_gap(self):
+        points = theorem41_comparison(sizes=(4, 6, 8), chain_factor=2)
+        assert len(points) == 3
+        ratios = [p.ratio for p in points]
+        assert all(r > 1.0 for r in ratios)
+        assert ratios == sorted(ratios)
+
+    def test_ratio_series_statistics(self):
+        series = RatioSeries(name="demo", ratios=[0.5, 0.75, 1.0])
+        assert series.minimum == 0.5
+        assert series.maximum == 1.0
+        assert 0.5 <= series.quantile(0.5) <= 1.0
+        assert 0.6 < series.geomean < 0.8
+
+    def test_render_figure4_output(self):
+        series = {
+            "base": RatioSeries("base", [0.8, 0.9]),
+            "async": RatioSeries("async", [1.0, 0.95]),
+        }
+        text = render_figure4(series)
+        assert "Figure 4" in text
+        assert "base" in text and "async" in text

@@ -1,0 +1,126 @@
+"""Unit tests for the ILP modeling expressions."""
+
+import pytest
+
+from repro.exceptions import IlpError
+from repro.ilp.expr import INF, Constraint, LinExpr, Variable, lin_sum
+
+
+def make_vars(n=3):
+    return [Variable(i, f"x{i}") for i in range(n)]
+
+
+class TestVariable:
+    def test_bounds_validation(self):
+        with pytest.raises(IlpError):
+            Variable(0, "bad", lower=2, upper=1)
+
+    def test_arithmetic_promotes_to_expr(self):
+        x, y, _ = make_vars()
+        expr = 2 * x + y - 3
+        assert isinstance(expr, LinExpr)
+        assert expr.coeffs[x.index] == 2
+        assert expr.coeffs[y.index] == 1
+        assert expr.constant == -3
+
+    def test_negation(self):
+        x, *_ = make_vars()
+        expr = -x
+        assert expr.coeffs[x.index] == -1
+
+    def test_comparison_builds_constraint(self):
+        x, y, _ = make_vars()
+        con = x + y <= 3
+        assert isinstance(con, Constraint)
+        assert con.upper == 0  # constant folded into expr
+        assert con.expr.constant == -3
+
+
+class TestLinExpr:
+    def test_addition_merges_coefficients(self):
+        x, y, _ = make_vars()
+        expr = (x + y) + (x - 2)
+        assert expr.coeffs[x.index] == 2
+        assert expr.coeffs[y.index] == 1
+        assert expr.constant == -2
+
+    def test_subtraction_and_rsub(self):
+        x, *_ = make_vars()
+        expr = 5 - (2 * x)
+        assert expr.constant == 5
+        assert expr.coeffs[x.index] == -2
+
+    def test_scalar_multiplication(self):
+        x, y, _ = make_vars()
+        expr = 3 * (x + 2 * y + 1)
+        assert expr.coeffs[x.index] == 3
+        assert expr.coeffs[y.index] == 6
+        assert expr.constant == 3
+
+    def test_non_scalar_multiplication_rejected(self):
+        x, y, _ = make_vars()
+        with pytest.raises(IlpError):
+            (x + y) * (x + y)
+
+    def test_value_evaluation(self):
+        x, y, _ = make_vars()
+        expr = 2 * x + 3 * y + 1
+        assert expr.value([2.0, 1.0, 0.0]) == 8.0
+
+    def test_invalid_operand(self):
+        x, *_ = make_vars()
+        with pytest.raises(IlpError):
+            x + "text"
+
+    def test_in_place_helpers(self):
+        x, y, _ = make_vars()
+        expr = LinExpr()
+        expr.add_term(x, 2.0).add_term(x, 1.0).add_constant(4.0)
+        expr.add_expr(LinExpr({y.index: 1.0}, 1.0), scale=2.0)
+        assert expr.coeffs[x.index] == 3.0
+        assert expr.coeffs[y.index] == 2.0
+        assert expr.constant == 6.0
+
+    def test_zero_coefficient_not_stored(self):
+        x, *_ = make_vars()
+        expr = LinExpr()
+        expr.add_term(x, 0.0)
+        assert x.index not in expr.coeffs
+
+
+class TestLinSum:
+    def test_sums_mixed_items(self):
+        x, y, z = make_vars()
+        expr = lin_sum([x, 2 * y, 3, z])
+        assert expr.coeffs[x.index] == 1
+        assert expr.coeffs[y.index] == 2
+        assert expr.coeffs[z.index] == 1
+        assert expr.constant == 3
+
+    def test_empty_sum(self):
+        expr = lin_sum([])
+        assert expr.coeffs == {}
+        assert expr.constant == 0
+
+    def test_rejects_invalid_items(self):
+        with pytest.raises(IlpError):
+            lin_sum([object()])
+
+
+class TestConstraints:
+    def test_ge_constraint_bounds(self):
+        x, y, _ = make_vars()
+        con = x + y >= 2
+        assert con.lower == 0
+        assert con.upper == INF
+        assert con.expr.constant == -2
+
+    def test_eq_constraint_bounds(self):
+        x, *_ = make_vars()
+        con = x == 1
+        assert con.lower == 0 and con.upper == 0
+
+    def test_with_name(self):
+        x, *_ = make_vars()
+        con = (x <= 1).with_name("cap")
+        assert con.name == "cap"

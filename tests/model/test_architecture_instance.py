@@ -1,0 +1,84 @@
+"""Unit tests for the machine model and problem instances."""
+
+import pytest
+
+from repro.dag.generators import chain_dag, spmv
+from repro.exceptions import ConfigurationError, InfeasibleInstanceError
+from repro.model.architecture import MbspArchitecture
+from repro.model.instance import MbspInstance, make_instance
+
+
+class TestArchitecture:
+    def test_valid_construction(self):
+        arch = MbspArchitecture(num_processors=4, cache_size=10, g=1, L=5)
+        assert list(arch.processors) == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_processors=0, cache_size=1),
+            dict(num_processors=2, cache_size=-1),
+            dict(num_processors=2, cache_size=1, g=-1),
+            dict(num_processors=2, cache_size=1, L=-1),
+        ],
+    )
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MbspArchitecture(**kwargs)
+
+    def test_with_helpers_return_copies(self):
+        arch = MbspArchitecture(2, 10, g=1, L=5)
+        assert arch.with_processors(8).num_processors == 8
+        assert arch.with_cache_size(20).cache_size == 20
+        assert arch.with_bsp_parameters(L=0).L == 0
+        assert arch.with_bsp_parameters(g=3).g == 3
+        # original unchanged (frozen dataclass)
+        assert arch.num_processors == 2 and arch.cache_size == 10
+
+    def test_infinite_cache_allowed(self):
+        arch = MbspArchitecture(1, float("inf"))
+        assert arch.cache_size == float("inf")
+
+
+class TestInstance:
+    def test_pass_throughs(self, small_spmv):
+        inst = make_instance(small_spmv, num_processors=3, cache_factor=2, g=2, L=7)
+        assert inst.num_processors == 3
+        assert inst.g == 2
+        assert inst.L == 7
+        assert inst.name == small_spmv.name
+
+    def test_cache_factor_scaling(self, small_spmv):
+        inst = make_instance(small_spmv, cache_factor=3.0)
+        assert inst.cache_size == pytest.approx(3.0 * inst.minimum_cache_size())
+
+    def test_explicit_cache_size_overrides_factor(self, small_spmv):
+        inst = make_instance(small_spmv, cache_factor=3.0, cache_size=42.0)
+        assert inst.cache_size == 42.0
+
+    def test_feasibility_check(self, small_spmv):
+        feasible = make_instance(small_spmv, cache_factor=1.0)
+        assert feasible.is_feasible()
+        feasible.require_feasible()
+
+        infeasible = make_instance(small_spmv, cache_factor=0.5)
+        assert not infeasible.is_feasible()
+        with pytest.raises(InfeasibleInstanceError):
+            infeasible.require_feasible()
+
+    def test_scaled_cache_instance(self, small_spmv):
+        inst = make_instance(small_spmv, cache_factor=1.0)
+        scaled = inst.scaled_cache_instance(5.0)
+        assert scaled.cache_size == pytest.approx(5.0 * inst.minimum_cache_size())
+        assert scaled.dag is inst.dag
+
+    def test_with_architecture(self, small_spmv):
+        inst = make_instance(small_spmv, num_processors=2)
+        new = inst.with_architecture(inst.architecture.with_processors(6))
+        assert new.num_processors == 6
+        assert inst.num_processors == 2
+
+    def test_chain_minimum_cache(self):
+        dag = chain_dag(4, mu=3.0)
+        inst = make_instance(dag, cache_factor=1.0)
+        assert inst.cache_size == pytest.approx(6.0)

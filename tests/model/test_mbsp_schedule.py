@@ -1,0 +1,124 @@
+"""Unit tests for the MBSP schedule representation."""
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.model.instance import make_instance
+from repro.model.pebbling import compute_op, delete_op, load_op
+from repro.model.schedule import MbspSchedule, ProcessorSuperstep, Superstep
+
+
+@pytest.fixture
+def diamond_instance(diamond_dag):
+    return make_instance(diamond_dag, num_processors=2, cache_factor=2.0, g=1.0, L=10.0)
+
+
+def build_diamond_schedule(instance):
+    """A valid single-processor-style schedule of the diamond on processor 0."""
+    schedule = MbspSchedule(instance)
+    step0 = schedule.new_superstep()
+    step0[0].load_phase.append("a")
+    step1 = schedule.new_superstep()
+    step1[0].compute_phase.extend([compute_op("b"), compute_op("c"), compute_op("d")])
+    step1[0].save_phase.append("d")
+    return schedule
+
+
+class TestProcessorSuperstep:
+    def test_costs(self, diamond_dag):
+        ps = ProcessorSuperstep(
+            compute_phase=[compute_op("b"), delete_op("a"), compute_op("c")],
+            save_phase=["c"],
+            load_phase=["a"],
+        )
+        assert ps.computed_nodes() == ["b", "c"]
+        assert ps.compute_cost(diamond_dag) == 5
+        assert ps.save_cost(diamond_dag, g=2.0) == 4
+        assert ps.load_cost(diamond_dag, g=2.0) == 2
+        assert ps.io_cost(diamond_dag, g=2.0) == 6
+        assert not ps.is_empty()
+
+    def test_empty(self):
+        assert ProcessorSuperstep().is_empty()
+
+    def test_phase_type_validation(self):
+        ps = ProcessorSuperstep(compute_phase=[load_op("a")])
+        with pytest.raises(ScheduleError):
+            ps.validate_phase_types()
+
+    def test_copy_is_deep(self):
+        ps = ProcessorSuperstep(compute_phase=[compute_op("b")])
+        clone = ps.copy()
+        clone.compute_phase.append(compute_op("c"))
+        assert len(ps.compute_phase) == 1
+
+
+class TestSuperstep:
+    def test_indexing_and_iteration(self):
+        step = Superstep(3)
+        assert step.num_processors == 3
+        step[1].save_phase.append("x")
+        assert [ps.is_empty() for ps in step] == [True, False, True]
+
+    def test_computed_nodes(self):
+        step = Superstep(2)
+        step[0].compute_phase.append(compute_op("b"))
+        step[1].compute_phase.append(compute_op("c"))
+        assert step.computed_nodes() == {"b", "c"}
+
+    def test_requires_positive_processor_count(self):
+        with pytest.raises(ScheduleError):
+            Superstep(0)
+
+
+class TestMbspSchedule:
+    def test_superstep_processor_count_checked(self, diamond_instance):
+        schedule = MbspSchedule(diamond_instance)
+        with pytest.raises(ScheduleError):
+            schedule.append(Superstep(3))
+
+    def test_basic_statistics(self, diamond_instance):
+        schedule = build_diamond_schedule(diamond_instance)
+        assert schedule.num_supersteps == 2
+        assert schedule.computed_nodes() == {"b", "c", "d"}
+        assert schedule.recomputation_count() == 0
+        counts = schedule.operation_counts()
+        assert counts["compute"] == 3
+        assert counts["load"] == 1
+        assert counts["save"] == 1
+        mu = diamond_instance.dag.mu
+        assert schedule.total_io_volume() == mu("a") + mu("d")
+
+    def test_compute_assignment(self, diamond_instance):
+        schedule = build_diamond_schedule(diamond_instance)
+        assignment = schedule.compute_assignment()
+        assert assignment["b"] == [(1, 0)]
+
+    def test_recomputation_counting(self, diamond_instance):
+        schedule = build_diamond_schedule(diamond_instance)
+        extra = schedule.new_superstep()
+        extra[1].load_phase.append("a")
+        extra2 = schedule.new_superstep()
+        extra2[1].compute_phase.append(compute_op("b"))
+        assert schedule.recomputation_count() == 1
+
+    def test_drop_empty_supersteps(self, diamond_instance):
+        schedule = build_diamond_schedule(diamond_instance)
+        schedule.new_superstep()  # empty
+        cleaned = schedule.drop_empty_supersteps()
+        assert cleaned.num_supersteps == 2
+        assert schedule.num_supersteps == 3  # original untouched
+
+    def test_copy_independent(self, diamond_instance):
+        schedule = build_diamond_schedule(diamond_instance)
+        clone = schedule.copy()
+        clone.supersteps[0][0].load_phase.append("junk")
+        assert "junk" not in schedule.supersteps[0][0].load_phase
+
+    def test_describe_output(self, diamond_instance):
+        schedule = build_diamond_schedule(diamond_instance)
+        text = schedule.describe()
+        assert "superstep 0" in text
+        assert "compute[b,c,d]" in text
+        short = schedule.describe(max_supersteps=1)
+        assert "more supersteps" in short

@@ -1,0 +1,131 @@
+"""Unit tests for the pebbling transition rules."""
+
+import pytest
+
+from repro.exceptions import InvalidScheduleError
+from repro.model.pebbling import (
+    Operation,
+    OpType,
+    PebblingState,
+    compute_op,
+    delete_op,
+    load_op,
+    save_op,
+)
+
+
+class TestOperations:
+    def test_costs(self, diamond_dag):
+        g = 2.0
+        assert compute_op("c").cost(diamond_dag, g) == 3
+        assert load_op("c").cost(diamond_dag, g) == diamond_dag.mu("c") * g
+        assert save_op("c").cost(diamond_dag, g) == diamond_dag.mu("c") * g
+        assert delete_op("c").cost(diamond_dag, g) == 0
+
+    def test_shorthand_constructors(self):
+        assert compute_op("x").op_type is OpType.COMPUTE
+        assert delete_op("x").op_type is OpType.DELETE
+        assert save_op("x").op_type is OpType.SAVE
+        assert load_op("x").op_type is OpType.LOAD
+
+
+class TestPebblingState:
+    def test_initial_configuration(self, diamond_dag):
+        state = PebblingState(diamond_dag, 2, cache_size=10)
+        assert state.has_blue("a")          # source in slow memory
+        assert not state.has_blue("d")
+        assert not state.has_red(0, "a")
+        assert state.cache_used(0) == 0
+
+    def test_load_requires_blue(self, diamond_dag):
+        state = PebblingState(diamond_dag, 1, 10)
+        state.apply_load(0, "a")
+        assert state.has_red(0, "a")
+        with pytest.raises(InvalidScheduleError):
+            state.apply_load(0, "b")  # b has no blue pebble yet
+
+    def test_compute_requires_parents_in_cache(self, diamond_dag):
+        state = PebblingState(diamond_dag, 1, 10)
+        with pytest.raises(InvalidScheduleError):
+            state.apply_compute(0, "b")
+        state.apply_load(0, "a")
+        state.apply_compute(0, "b")
+        assert state.has_red(0, "b")
+
+    def test_source_nodes_cannot_be_computed(self, diamond_dag):
+        state = PebblingState(diamond_dag, 1, 10)
+        with pytest.raises(InvalidScheduleError):
+            state.apply_compute(0, "a")
+
+    def test_save_requires_red(self, diamond_dag):
+        state = PebblingState(diamond_dag, 1, 10)
+        with pytest.raises(InvalidScheduleError):
+            state.apply_save(0, "a")
+        state.apply_load(0, "a")
+        state.apply_save(0, "a")
+        assert state.has_blue("a")
+
+    def test_save_into_deferred_target(self, diamond_dag):
+        state = PebblingState(diamond_dag, 1, 10)
+        state.apply_load(0, "a")
+        state.apply_compute(0, "b")
+        deferred = set()
+        state.apply_save(0, "b", blue_target=deferred)
+        assert not state.has_blue("b")
+        state.blue.update(deferred)
+        assert state.has_blue("b")
+
+    def test_delete_requires_red(self, diamond_dag):
+        state = PebblingState(diamond_dag, 1, 10)
+        with pytest.raises(InvalidScheduleError):
+            state.apply_delete(0, "a")
+        state.apply_load(0, "a")
+        state.apply_delete(0, "a")
+        assert not state.has_red(0, "a")
+        assert state.cache_used(0) == 0
+
+    def test_memory_bound_enforced(self, diamond_dag):
+        # cache of size 1 can hold 'a' but computing 'b' exceeds it
+        state = PebblingState(diamond_dag, 1, cache_size=1)
+        state.apply_load(0, "a")
+        with pytest.raises(InvalidScheduleError):
+            state.apply_compute(0, "b")
+
+    def test_cache_accounting(self, diamond_dag):
+        state = PebblingState(diamond_dag, 1, 10)
+        state.apply_load(0, "a")
+        state.apply_compute(0, "c")
+        assert state.cache_used(0) == diamond_dag.mu("a") + diamond_dag.mu("c")
+
+    def test_processor_isolation(self, diamond_dag):
+        state = PebblingState(diamond_dag, 2, 10)
+        state.apply_load(0, "a")
+        assert not state.has_red(1, "a")
+        with pytest.raises(InvalidScheduleError):
+            state.apply_compute(1, "b")
+
+    def test_terminal_detection(self, diamond_dag):
+        state = PebblingState(diamond_dag, 1, 10)
+        assert not state.is_terminal()
+        assert state.missing_sinks() == ["d"]
+        state.apply_load(0, "a")
+        state.apply_compute(0, "b")
+        state.apply_compute(0, "c")
+        state.apply_compute(0, "d")
+        state.apply_save(0, "d")
+        assert state.is_terminal()
+        assert state.missing_sinks() == []
+
+    def test_apply_dispatch(self, diamond_dag):
+        state = PebblingState(diamond_dag, 1, 10)
+        state.apply(0, load_op("a"))
+        state.apply(0, compute_op("b"))
+        state.apply(0, save_op("b"))
+        state.apply(0, delete_op("b"))
+        assert state.has_blue("b")
+        assert not state.has_red(0, "b")
+
+    def test_invalid_processor_index(self, diamond_dag):
+        state = PebblingState(diamond_dag, 2, 10)
+        with pytest.raises(InvalidScheduleError):
+            state.apply_load(5, "a")

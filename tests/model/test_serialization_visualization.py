@@ -1,0 +1,83 @@
+"""Tests for schedule serialization and text visualization."""
+
+import pytest
+
+from repro.bsp import greedy_bsp_schedule
+from repro.cache import two_stage_schedule
+from repro.exceptions import ScheduleError
+from repro.model import (
+    make_instance,
+    render_gantt,
+    render_superstep_table,
+    save_schedule,
+    load_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+    synchronous_cost,
+    asynchronous_cost,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def sample_schedule(small_spmv):
+    instance = make_instance(small_spmv, num_processors=2, cache_factor=3.0, g=1, L=10)
+    bsp = greedy_bsp_schedule(small_spmv, 2)
+    return two_stage_schedule(bsp, instance)
+
+
+class TestScheduleSerialization:
+    def test_dict_roundtrip_preserves_costs(self, sample_schedule):
+        data = schedule_to_dict(sample_schedule)
+        restored = schedule_from_dict(data, sample_schedule.instance)
+        validate_schedule(restored)
+        assert restored.num_supersteps == sample_schedule.num_supersteps
+        assert synchronous_cost(restored) == pytest.approx(synchronous_cost(sample_schedule))
+        assert asynchronous_cost(restored) == pytest.approx(asynchronous_cost(sample_schedule))
+        assert restored.operation_counts() == sample_schedule.operation_counts()
+
+    def test_file_roundtrip(self, tmp_path, sample_schedule):
+        path = tmp_path / "schedule.json"
+        save_schedule(sample_schedule, path)
+        restored = load_schedule(path, sample_schedule.instance)
+        validate_schedule(restored)
+        assert synchronous_cost(restored) == pytest.approx(synchronous_cost(sample_schedule))
+
+    def test_dict_contains_instance_metadata(self, sample_schedule):
+        data = schedule_to_dict(sample_schedule)
+        assert data["instance"]["num_processors"] == 2
+        assert data["instance"]["g"] == 1.0
+        assert len(data["supersteps"]) == sample_schedule.num_supersteps
+
+    def test_processor_count_mismatch_rejected(self, sample_schedule, small_spmv):
+        data = schedule_to_dict(sample_schedule)
+        other = make_instance(small_spmv, num_processors=4, cache_factor=3.0)
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(data, other)
+
+    def test_malformed_superstep_rejected(self, sample_schedule):
+        data = schedule_to_dict(sample_schedule)
+        data["supersteps"][0]["processors"] = data["supersteps"][0]["processors"][:1]
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(data, sample_schedule.instance)
+
+
+class TestVisualization:
+    def test_superstep_table_mentions_all_supersteps(self, sample_schedule):
+        text = render_superstep_table(sample_schedule)
+        lines = text.splitlines()
+        assert len(lines) == 2 + sample_schedule.num_supersteps
+        assert "p0" in lines[0] and "p1" in lines[0]
+
+    def test_gantt_contains_all_lanes(self, sample_schedule):
+        text = render_gantt(sample_schedule, width=50)
+        assert "makespan" in text
+        assert text.count("|") == 2 * sample_schedule.instance.num_processors
+        assert "#" in text  # some compute happened
+
+    def test_gantt_empty_schedule(self, small_spmv):
+        from repro.model.schedule import MbspSchedule
+
+        instance = make_instance(small_spmv, num_processors=2, cache_factor=3.0)
+        empty = MbspSchedule(instance)
+        assert render_gantt(empty) == "(empty schedule)"

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.dag import io as dag_io
+from repro.dag.generators import spmv
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_schedule_defaults(self):
+        args = cli.build_parser().parse_args(["schedule"])
+        assert args.generator == "spmv"
+        assert args.processors == 2
+        assert args.method == "baseline"
+
+    def test_experiment_arguments(self):
+        args = cli.build_parser().parse_args(["experiment", "--table", "4", "--limit", "2"])
+        assert args.table == 4
+        assert args.limit == 2
+
+
+class TestScheduleCommand:
+    def test_baseline_with_generator(self, capsys):
+        exit_code = cli.main([
+            "schedule", "--generator", "spmv", "--size", "4", "--processors", "2",
+            "--method", "baseline", "--render",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "synchronous cost" in out
+        assert "superstep" in out
+        assert "makespan" in out  # Gantt chart rendered
+
+    def test_schedule_from_dag_file_and_output(self, tmp_path, capsys):
+        dag_path = tmp_path / "dag.json"
+        dag_io.save_json(spmv(4, seed=2), dag_path)
+        out_path = tmp_path / "schedule.json"
+        exit_code = cli.main([
+            "schedule", "--dag-file", str(dag_path), "--processors", "2",
+            "--method", "baseline", "--output", str(out_path),
+        ])
+        assert exit_code == 0
+        data = json.loads(out_path.read_text())
+        assert data["instance"]["num_processors"] == 2
+        assert data["supersteps"]
+
+    def test_unknown_generator_exits(self):
+        with pytest.raises(SystemExit):
+            cli.main(["schedule", "--generator", "quantum"])
+
+    def test_practical_method(self, capsys):
+        exit_code = cli.main([
+            "schedule", "--generator", "kmeans", "--size", "8",
+            "--method", "practical", "--latency", "5",
+        ])
+        assert exit_code == 0
+        assert "asynchronous cost" in capsys.readouterr().out
+
+
+class TestDatasetCommand:
+    def test_tiny_listing(self, capsys):
+        exit_code = cli.main(["dataset", "--which", "tiny"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "bicgstab" in out
+        assert "spmv_N6" in out
+
+    def test_small_listing(self, capsys):
+        exit_code = cli.main(["dataset", "--which", "small", "--scale", "default"])
+        assert exit_code == 0
+        assert "simple_pagerank" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_table1_tiny_run(self, capsys):
+        exit_code = cli.main([
+            "experiment", "--table", "1", "--limit", "1", "--time-limit", "0.5",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "geometric-mean" in out

@@ -1,0 +1,156 @@
+"""Tests making the paper's theoretical statements executable."""
+
+import pytest
+
+from repro.cache.conversion import two_stage_schedule
+from repro.cache.policies import ClairvoyantPolicy
+from repro.dag.analysis import minimum_cache_size
+from repro.model.cost import asynchronous_cost, synchronous_cost
+from repro.model.instance import make_instance
+from repro.model.validation import validate_schedule
+from repro.theory.bounds import (
+    asynchronous_lower_bound,
+    compute_lower_bound,
+    io_lower_bound,
+    lower_bound_report,
+    synchronous_lower_bound,
+)
+from repro.theory.constructions import (
+    chain_per_processor_bsp_schedule,
+    optimal_gap_schedule,
+    partition_reduction_dag,
+    sync_async_gap_construction,
+    sync_vs_async_small_gap_construction,
+    two_stage_gap_construction,
+    zipper_gadget,
+)
+
+
+class TestTheorem41Construction:
+    def test_structure(self):
+        c = two_stage_gap_construction(d=4, m=6)
+        dag = c.dag
+        assert dag.num_nodes == 2 * 4 + 2 * 6
+        assert set(dag.sources()) == set(c.group1) | set(c.group2)
+        assert set(dag.sinks()) == {c.chain_v[-1], c.chain_u[-1]}
+        assert dag.is_acyclic()
+        # chain node v_1 (odd) reads all of H2
+        assert set(dag.parents(c.chain_v[0])) == set(c.group2)
+        # chain node v_2 (even) reads H1 plus its predecessor
+        assert set(dag.parents(c.chain_v[1])) == set(c.group1) | {c.chain_v[0]}
+
+    def test_cache_size_matches_proof(self):
+        c = two_stage_gap_construction(d=5, m=8)
+        instance = c.instance()
+        assert instance.cache_size == 7
+        assert instance.is_feasible()
+        assert minimum_cache_size(c.dag) <= instance.cache_size
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            two_stage_gap_construction(0, 5)
+
+    def test_optimal_schedule_is_valid(self):
+        c = two_stage_gap_construction(d=4, m=8)
+        schedule = optimal_gap_schedule(c)
+        validate_schedule(schedule)
+
+    def test_theorem_4_1_gap(self):
+        """The two-stage cost exceeds the optimal cost and the gap grows with d."""
+        ratios = []
+        for d in (3, 6, 9):
+            c = two_stage_gap_construction(d=d, m=2 * d)
+            instance = c.instance(g=1.0, L=0.0)
+            two_stage = two_stage_schedule(
+                chain_per_processor_bsp_schedule(c), instance, ClairvoyantPolicy()
+            )
+            validate_schedule(two_stage)
+            optimal = optimal_gap_schedule(c)
+            validate_schedule(optimal)
+            ratio = synchronous_cost(two_stage) / synchronous_cost(optimal)
+            assert ratio > 1.0
+            ratios.append(ratio)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_two_stage_io_volume_scales_with_d_times_m(self):
+        c = two_stage_gap_construction(d=6, m=12)
+        instance = c.instance()
+        two_stage = two_stage_schedule(
+            chain_per_processor_bsp_schedule(c), instance, ClairvoyantPolicy()
+        )
+        optimal = optimal_gap_schedule(c)
+        # the bad schedule reloads a whole group for (almost) every chain node
+        assert two_stage.total_io_volume() > 0.5 * c.d * c.m
+        assert optimal.total_io_volume() < 4 * c.m + 2 * c.d + 4
+
+
+class TestLemmaConstructions:
+    def test_partition_reduction_structure(self):
+        dag, alpha = partition_reduction_dag([3, 1, 2, 2])
+        assert alpha == 8
+        assert dag.is_acyclic()
+        assert dag.mu("v_prime") == 4
+        assert set(dag.parents("c1")) == {"v_0", "v_1", "v_2", "v_3"}
+        assert "c1" in dag.parents("c2")
+
+    def test_partition_reduction_rejects_empty(self):
+        with pytest.raises(ValueError):
+            partition_reduction_dag([])
+
+    def test_sync_async_gap_structure(self):
+        dag = sync_async_gap_construction(6, heavy_weight=50)
+        assert dag.is_acyclic()
+        heavy = [v for v in dag.nodes if dag.omega(v) == 50]
+        # one heavy node per chain position per pair: 2 * (P/2) nodes
+        assert len(heavy) == 6
+        with pytest.raises(ValueError):
+            sync_async_gap_construction(3)
+
+    def test_lemma_5_3_gap_on_schedules(self):
+        """Aligning heavy nodes in one superstep is much cheaper synchronously."""
+        P = 4
+        dag = sync_async_gap_construction(P, heavy_weight=100)
+        instance = make_instance(dag, num_processors=P, cache_factor=10.0, g=0.0, L=0.0)
+        from repro.core.two_stage import baseline_schedule
+
+        base = baseline_schedule(instance)
+        # the synchronous cost of any schedule is at least the critical path;
+        # the async-optimal "diagonal" placement costs about (P/2) * heavy
+        assert synchronous_cost(base.mbsp_schedule) >= 100
+
+    def test_lemma_5_4_construction(self):
+        dag = sync_vs_async_small_gap_construction(heavy_weight=60)
+        assert dag.is_acyclic()
+        assert dag.num_nodes == 10
+        assert max(dag.omega(v) for v in dag.nodes) == 120
+
+    def test_zipper_gadget_structure(self):
+        dag = zipper_gadget(d=3, m=6)
+        assert dag.is_acyclic()
+        # single source w feeding everything
+        assert dag.sources() == ["w"]
+        assert minimum_cache_size(dag) <= 4 + 1  # r = 4 plus w in the proof
+        with pytest.raises(ValueError):
+            zipper_gadget(1, 5)
+
+
+class TestLowerBounds:
+    def test_bounds_are_consistent(self, small_instance):
+        report = lower_bound_report(small_instance)
+        assert report["compute"] == compute_lower_bound(small_instance)
+        assert report["io"] == io_lower_bound(small_instance)
+        assert report["synchronous"] >= report["compute"]
+        assert report["asynchronous"] >= 0
+
+    def test_no_schedule_beats_the_bounds(self, small_instance):
+        from repro.core.two_stage import baseline_schedule
+
+        base = baseline_schedule(small_instance)
+        assert synchronous_cost(base.mbsp_schedule) >= synchronous_lower_bound(small_instance) - 1e-9
+        assert asynchronous_cost(base.mbsp_schedule) >= asynchronous_lower_bound(small_instance) - 1e-9
+
+    def test_optimal_gap_schedule_respects_bounds(self):
+        c = two_stage_gap_construction(d=4, m=8)
+        instance = c.instance(g=1.0, L=0.0)
+        optimal = optimal_gap_schedule(c)
+        assert synchronous_cost(optimal) >= synchronous_lower_bound(instance) - 1e-9
