@@ -10,7 +10,10 @@ Environment knobs:
 
 * ``REPRO_ILP_TIME_LIMIT``  — seconds per ILP solve (default set per bench),
 * ``REPRO_BENCH_SCALE``     — ``default`` (reduced sizes) or ``paper``,
-* ``REPRO_BENCH_LIMIT``     — only run the first N instances of a dataset.
+* ``REPRO_BENCH_LIMIT``     — only run the first N instances of a dataset,
+* ``REPRO_BENCH_WORKERS``   — worker processes for the experiment engine,
+* ``REPRO_CACHE_DIR``       — on-disk result cache for the engine (repeat
+  benchmark invocations then skip all solver calls).
 """
 
 from __future__ import annotations
@@ -20,28 +23,35 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.reporting import format_results_table, write_csv
-from repro.experiments.runner import InstanceResult, geometric_mean
+from repro.experiments.runner import InstanceResult, _env_float, _env_int, geometric_mean
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def env_time_limit(default: float) -> float:
     """Per-solve time limit, overridable through REPRO_ILP_TIME_LIMIT."""
-    try:
-        return float(os.environ.get("REPRO_ILP_TIME_LIMIT", default))
-    except (TypeError, ValueError):
-        return default
+    return _env_float("REPRO_ILP_TIME_LIMIT", default)
 
 
 def env_limit(default: Optional[int]) -> Optional[int]:
     """Instance-count limit, overridable through REPRO_BENCH_LIMIT."""
-    value = os.environ.get("REPRO_BENCH_LIMIT")
-    if value is None:
-        return default
-    try:
-        return int(value)
-    except ValueError:
-        return default
+    return _env_int("REPRO_BENCH_LIMIT", default)
+
+
+def env_workers(default: int = 1) -> int:
+    """Engine worker-process count, overridable through REPRO_BENCH_WORKERS."""
+    return max(1, _env_int("REPRO_BENCH_WORKERS", default) or default)
+
+
+def make_engine(workers: Optional[int] = None):
+    """An :class:`~repro.experiments.parallel.ExperimentEngine` configured
+    from the environment (REPRO_BENCH_WORKERS, REPRO_CACHE_DIR)."""
+    from repro.experiments.parallel import ExperimentEngine
+
+    return ExperimentEngine(
+        workers=env_workers() if workers is None else workers,
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+    )
 
 
 def record_results(

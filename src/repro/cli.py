@@ -1,12 +1,22 @@
 """Command-line interface for the MBSP scheduling library.
 
-Three sub-commands are provided:
+Four sub-commands are provided:
 
 * ``schedule``   — generate (or load) a DAG, schedule it with a chosen method
   and print costs, validation results and an optional schedule rendering;
 * ``dataset``    — list the benchmark datasets (instance names, sizes, r0);
 * ``experiment`` — run one of the paper's table experiments and print the
-  comparison against the paper's reference values.
+  comparison against the paper's reference values;
+* ``portfolio``  — run a scheduler portfolio over a dataset and report the
+  best pipeline per instance.
+
+The ``experiment`` and ``portfolio`` commands submit through the parallel
+experiment engine: ``--workers N`` fans instances out over N processes,
+``--cache-dir DIR`` caches results on disk (a repeated invocation performs
+zero solver calls), and ``--results FILE.jsonl`` / ``--resume`` stream
+results and resume interrupted sweeps.  Add ``--node-limit`` to bound ILP
+solves by branch-and-bound nodes instead of wall clock when a sweep must be
+exactly reproducible regardless of machine load.
 
 Examples
 --------
@@ -14,7 +24,8 @@ Examples
 python -m repro.cli schedule --generator spmv --size 5 --processors 2 --method ilp --time-limit 10
 python -m repro.cli schedule --dag-file my_graph.json --processors 4 --method baseline --render
 python -m repro.cli dataset --which tiny --scale default
-python -m repro.cli experiment --table 1 --limit 3 --time-limit 5
+python -m repro.cli experiment --table 1 --limit 3 --time-limit 5 --workers 4 --cache-dir .repro-cache
+python -m repro.cli portfolio --members bspg+clairvoyant,cilk+lru,ilp --limit 4 --workers 4
 ```
 """
 
@@ -127,28 +138,73 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_engine(args: argparse.Namespace):
+    from repro.experiments.parallel import ExperimentEngine
+
+    return ExperimentEngine(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        results_path=args.results,
+        resume=args.resume,
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import paper_reference
     from repro.experiments.reporting import format_results_table
     from repro.experiments.runner import ExperimentConfig
     from repro.experiments.tables import table1, table2, table4
 
-    config = ExperimentConfig(ilp_time_limit=args.time_limit)
+    engine = _make_engine(args)
+    config = ExperimentConfig(ilp_time_limit=args.time_limit, ilp_node_limit=args.node_limit)
     if args.table == 1:
-        results = table1(config=config, limit=args.limit)
+        results = table1(config=config, limit=args.limit, engine=engine)
         print(format_results_table(results, "Table 1", paper_reference.TABLE1))
     elif args.table == 2:
         results = table2(limit=args.limit,
-                         config=ExperimentConfig(cache_factor=5.0, ilp_time_limit=args.time_limit))
+                         config=ExperimentConfig(cache_factor=5.0,
+                                                 ilp_time_limit=args.time_limit,
+                                                 ilp_node_limit=args.node_limit),
+                         engine=engine)
         print(format_results_table(results, "Table 2", paper_reference.TABLE2))
     elif args.table == 4:
-        by_config = table4(base_config=config, limit=args.limit)
+        by_config = table4(base_config=config, limit=args.limit, engine=engine)
         for name, results in by_config.items():
             ref = paper_reference.TABLE4.get(name, paper_reference.TABLE1)
             print(format_results_table(results, f"Table 4 [{name}]", ref))
             print()
     else:
         raise SystemExit("only tables 1, 2 and 4 are runnable from the CLI")
+    print(f"engine: {engine.stats.describe()}")
+    return 0
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.experiments.datasets import small_dataset, tiny_dataset
+    from repro.experiments.runner import ExperimentConfig
+    from repro.portfolio import DEFAULT_MEMBERS, Portfolio, format_portfolio_table
+
+    members = [m.strip() for m in args.members.split(",") if m.strip()] \
+        if args.members else list(DEFAULT_MEMBERS)
+    dags = (tiny_dataset(scale=args.scale, limit=args.limit) if args.which == "tiny"
+            else small_dataset(scale=args.scale, limit=args.limit))
+    engine = _make_engine(args)
+    config = ExperimentConfig(
+        name="portfolio",
+        num_processors=args.processors,
+        ilp_time_limit=args.time_limit,
+        ilp_node_limit=args.node_limit,
+    )
+    portfolio = Portfolio(config=config)
+    rows = portfolio.run(members, dags, engine=engine)
+    print(format_portfolio_table(rows))
+    wins: dict = {}
+    for row in rows:
+        winner = row.best_member if row.has_winner else "(none applicable)"
+        wins[winner] = wins.get(winner, 0) + 1
+    summary = ", ".join(f"{member}: {count}" for member, count in sorted(wins.items()))
+    print(f"wins per member: {summary}")
+    print(f"engine: {engine.stats.describe()}")
     return 0
 
 
@@ -179,11 +235,39 @@ def build_parser() -> argparse.ArgumentParser:
     data.add_argument("--scale", choices=["default", "paper"], default="default")
     data.set_defaults(func=_cmd_dataset)
 
+    def add_engine_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the experiment engine (1 = serial)")
+        p.add_argument("--cache-dir", default=None,
+                       help="on-disk result cache; repeated runs become free")
+        p.add_argument("--results", default=None,
+                       help="stream results to this JSONL file as they complete")
+        p.add_argument("--resume", action="store_true",
+                       help="skip jobs already recorded in the --results file")
+        p.add_argument("--node-limit", type=int, default=None,
+                       help="bound ILP solves by branch-and-bound nodes: results "
+                            "become exactly reproducible even under CPU contention "
+                            "(parallel workers, loaded hosts), provided --time-limit "
+                            "is generous enough that the node limit is what binds")
+
     exp = sub.add_parser("experiment", help="run one of the paper's table experiments")
     exp.add_argument("--table", type=int, choices=[1, 2, 4], default=1)
     exp.add_argument("--limit", type=int, default=None, help="only the first N instances")
     exp.add_argument("--time-limit", type=float, default=5.0)
+    add_engine_arguments(exp)
     exp.set_defaults(func=_cmd_experiment)
+
+    port = sub.add_parser("portfolio", help="run a scheduler portfolio over a dataset")
+    port.add_argument("--members", default=None,
+                      help="comma-separated member pipelines, e.g. "
+                           "'bspg+clairvoyant,cilk+lru,ilp,dac'")
+    port.add_argument("--which", choices=["tiny", "small"], default="tiny")
+    port.add_argument("--scale", choices=["default", "paper"], default="default")
+    port.add_argument("--limit", type=int, default=None, help="only the first N instances")
+    port.add_argument("--processors", "-p", type=int, default=4)
+    port.add_argument("--time-limit", type=float, default=5.0)
+    add_engine_arguments(port)
+    port.set_defaults(func=_cmd_portfolio)
     return parser
 
 

@@ -16,11 +16,19 @@ from repro.experiments.runner import (
     run_instance_with_baselines,
     run_divide_and_conquer_instance,
 )
+from repro.experiments.parallel import (
+    EngineStats,
+    ExperimentEngine,
+    ExperimentJob,
+    run_jobs,
+)
 from repro.experiments.reporting import (
     format_results_table,
+    read_jsonl,
     results_to_rows,
     summarize_ratios,
     write_csv,
+    write_jsonl,
 )
 from repro.experiments import paper_reference
 from repro.experiments.tables import (
@@ -54,10 +62,16 @@ __all__ = [
     "run_instance",
     "run_instance_with_baselines",
     "run_divide_and_conquer_instance",
+    "EngineStats",
+    "ExperimentEngine",
+    "ExperimentJob",
+    "run_jobs",
     "format_results_table",
+    "read_jsonl",
     "results_to_rows",
     "summarize_ratios",
     "write_csv",
+    "write_jsonl",
     "paper_reference",
     "geomean_summary",
     "p1_experiment",

@@ -23,6 +23,7 @@ per-instance seed, exactly as described in Appendix D.1.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -52,10 +53,16 @@ class InstanceSpec:
     builder: Callable[[], ComputationalDag]
 
     def build(self) -> ComputationalDag:
-        """Generate the DAG and attach the random memory weights."""
+        """Generate the DAG and attach the random memory weights.
+
+        The per-instance seed uses a *stable* hash of the name (crc32):
+        ``hash()`` on strings is salted per process, which silently made the
+        "seeded" datasets differ between invocations (and defeated the
+        experiment engine's cross-run result cache).
+        """
         dag = self.builder()
         dag.name = self.name
-        seed = MEMORY_WEIGHT_SEED + abs(hash(self.name)) % 10_000
+        seed = MEMORY_WEIGHT_SEED + zlib.crc32(self.name.encode("utf-8")) % 10_000
         assign_random_memory_weights(dag, low=1, high=5, seed=seed)
         return dag
 

@@ -1,8 +1,15 @@
-"""Formatting and persistence of experiment results."""
+"""Formatting and persistence of experiment results.
+
+Besides the fixed-width tables and CSV export, this module reads and writes
+the streaming JSONL result files produced by the parallel experiment engine
+(:mod:`repro.experiments.parallel`): one JSON object per line with the job
+key, kind, instance name and the serialized result.
+"""
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -78,6 +85,41 @@ def write_csv(results: Sequence[InstanceResult], path: PathLike) -> None:
         writer = csv.DictWriter(handle, fieldnames=fieldnames)
         writer.writeheader()
         writer.writerows(rows)
+
+
+def write_jsonl(results: Sequence[InstanceResult], path: PathLike) -> None:
+    """Write results as JSONL (one serialized result per line)."""
+    with open(path, "w") as handle:
+        for res in results:
+            handle.write(json.dumps({"instance": res.instance_name, "result": res.to_dict()}) + "\n")
+
+
+def iter_jsonl_records(path: PathLike) -> List[dict]:
+    """All well-formed records (dicts with a ``result`` key) of a JSONL
+    results file, in file order.
+
+    Malformed lines (e.g. a truncated final line after a crash) are skipped;
+    this is the single parsing routine shared by :func:`read_jsonl` and the
+    experiment engine's resume logic.
+    """
+    records: List[dict] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            record["result"] = dict(record["result"])
+        except (ValueError, KeyError, TypeError):
+            continue
+        records.append(record)
+    return records
+
+
+def read_jsonl(path: PathLike) -> List[InstanceResult]:
+    """Read results from a JSONL file written by :func:`write_jsonl` or
+    streamed by the experiment engine (``results_path=...``)."""
+    return [InstanceResult.from_dict(record["result"]) for record in iter_jsonl_records(path)]
 
 
 def summarize_ratios(results_by_config: Dict[str, Sequence[InstanceResult]]) -> Dict[str, float]:

@@ -5,11 +5,25 @@ are thin wrappers around :func:`run_instance` / :func:`run_dataset`, which
 execute the two-stage baselines and the ILP-based schedulers on one instance
 and record the costs, improvement ratios and solver diagnostics.
 
+:func:`run_dataset` routes every batch through the parallel experiment
+engine (:mod:`repro.experiments.parallel`): pass ``workers=N`` to fan the
+instances out over a process pool, ``cache_dir=...`` to reuse results across
+invocations (keyed by an instance/config hash) and ``results_path=...`` /
+``resume=True`` to stream results to a JSONL file and skip already-recorded
+jobs.  The same knobs are exposed on the CLI (``repro experiment --workers N
+--cache-dir DIR --resume``) and as environment variables for the benchmark
+harness.
+
 Environment knobs (respected by the default configuration):
 
 * ``REPRO_ILP_TIME_LIMIT`` — per-ILP-solve time limit in seconds (default 10);
 * ``REPRO_BENCH_SCALE`` — ``default`` or ``paper`` dataset scale;
-* ``REPRO_BENCH_LIMIT`` — only run the first N instances of each dataset.
+* ``REPRO_BENCH_LIMIT`` — only run the first N instances of each dataset;
+* ``REPRO_BENCH_WORKERS`` — worker processes for the experiment engine;
+* ``REPRO_CACHE_DIR`` — on-disk result cache directory for the engine.
+
+Malformed values of the numeric knobs fall back to their defaults, but emit
+a :class:`UserWarning` instead of being silently swallowed.
 """
 
 from __future__ import annotations
@@ -17,6 +31,7 @@ from __future__ import annotations
 import math
 import os
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
@@ -31,9 +46,18 @@ from repro.core.acyclic_partition import PartitionConfig
 
 
 def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    if value is None:
+        return default
     try:
-        return float(os.environ.get(name, default))
+        return float(value)
     except (TypeError, ValueError):
+        warnings.warn(
+            f"ignoring malformed value {value!r} of environment variable {name} "
+            f"(expected a float); using the default {default!r}",
+            UserWarning,
+            stacklevel=2,
+        )
         return default
 
 
@@ -43,7 +67,13 @@ def _env_int(name: str, default: Optional[int]) -> Optional[int]:
         return default
     try:
         return int(value)
-    except ValueError:
+    except (TypeError, ValueError):
+        warnings.warn(
+            f"ignoring malformed value {value!r} of environment variable {name} "
+            f"(expected an integer); using the default {default!r}",
+            UserWarning,
+            stacklevel=2,
+        )
         return default
 
 
@@ -63,6 +93,7 @@ class ExperimentConfig:
     synchronous: bool = True
     allow_recomputation: bool = True
     ilp_time_limit: float = field(default_factory=lambda: _env_float("REPRO_ILP_TIME_LIMIT", 10.0))
+    ilp_node_limit: Optional[int] = None
     step_cap: Optional[int] = None
     seed: int = 0
 
@@ -76,11 +107,16 @@ class ExperimentConfig:
         )
 
     def ilp_config(self) -> MbspIlpConfig:
+        # a node limit (when set) bounds the solve by branch-and-bound nodes
+        # instead of wall clock, which keeps time-pressured results
+        # deterministic across differently-loaded machines
         return MbspIlpConfig(
             synchronous=self.synchronous,
             allow_recomputation=self.allow_recomputation,
             max_steps=self.step_cap,
-            solver_options=SolverOptions(time_limit=self.ilp_time_limit),
+            solver_options=SolverOptions(
+                time_limit=self.ilp_time_limit, node_limit=self.ilp_node_limit
+            ),
         )
 
     def variant(self, **changes) -> "ExperimentConfig":
@@ -106,6 +142,42 @@ class InstanceResult:
         if self.baseline_cost == 0:
             return 1.0
         return self.ilp_cost / self.baseline_cost
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict representation (JSON-serializable), for the result cache."""
+        return {
+            "instance_name": self.instance_name,
+            "num_nodes": self.num_nodes,
+            "baseline_cost": self.baseline_cost,
+            "ilp_cost": self.ilp_cost,
+            "solver_status": self.solver_status,
+            "solve_time": self.solve_time,
+            "extra_costs": dict(self.extra_costs),
+        }
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Deterministic part of the result: :meth:`to_dict` without timings.
+
+        Two runs of the same job (serial vs. parallel, fresh vs. cached)
+        must produce equal fingerprints; ``solve_time`` is wall-clock
+        diagnostics and is excluded.
+        """
+        data = self.to_dict()
+        data.pop("solve_time", None)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "InstanceResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            instance_name=str(data["instance_name"]),
+            num_nodes=int(data["num_nodes"]),
+            baseline_cost=float(data["baseline_cost"]),
+            ilp_cost=float(data["ilp_cost"]),
+            solver_status=str(data.get("solver_status", "")),
+            solve_time=float(data.get("solve_time", 0.0)),
+            extra_costs={k: float(v) for k, v in dict(data.get("extra_costs", {})).items()},
+        )
 
 
 def geometric_mean(values: Sequence[float]) -> float:
@@ -136,19 +208,41 @@ def run_dataset(
     dags: Sequence[ComputationalDag],
     config: ExperimentConfig,
     verbose: bool = False,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    results_path: Optional[str] = None,
+    resume: bool = False,
+    kind: str = "instance",
+    engine=None,
+    **job_params,
 ) -> List[InstanceResult]:
-    """Run :func:`run_instance` over a dataset."""
-    results = []
-    for dag in dags:
-        start = time.perf_counter()
-        result = run_instance(dag, config)
-        if verbose:  # pragma: no cover - console convenience
+    """Run one experiment ``kind`` over a dataset through the parallel engine.
+
+    ``kind`` selects the per-instance runner (``"instance"``,
+    ``"baselines"`` or ``"dac"``, see :mod:`repro.experiments.parallel`);
+    extra keyword arguments are forwarded to it.  With the default
+    ``workers=1`` and no cache the behaviour (and the results) are identical
+    to the historical serial loop.
+    """
+    from repro.experiments.parallel import ExperimentEngine, ExperimentJob
+
+    if engine is None:
+        engine = ExperimentEngine(
+            workers=workers, cache_dir=cache_dir, results_path=results_path, resume=resume
+        )
+    start = time.perf_counter()
+    jobs = [ExperimentJob.make(kind, dag, config, **job_params) for dag in dags]
+    results = engine.run(jobs)
+    if verbose:  # pragma: no cover - console convenience
+        for result in results:
             print(
-                f"  {dag.name:<18s} base={result.baseline_cost:8.1f} "
-                f"ilp={result.ilp_cost:8.1f} ratio={result.ratio:.2f} "
-                f"[{time.perf_counter() - start:.1f}s]"
+                f"  {result.instance_name:<18s} base={result.baseline_cost:8.1f} "
+                f"ilp={result.ilp_cost:8.1f} ratio={result.ratio:.2f}"
             )
-        results.append(result)
+        print(
+            f"  [{len(results)} results in {time.perf_counter() - start:.1f}s; "
+            f"{engine.stats.describe()}]"
+        )
     return results
 
 

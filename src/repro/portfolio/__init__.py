@@ -1,0 +1,24 @@
+"""Scheduler portfolio: evaluate several pipelines, keep the best per instance.
+
+Public API: :class:`Portfolio`, :class:`PortfolioResult`,
+:func:`run_member`, :data:`DEFAULT_MEMBERS`, :func:`available_members` and
+:func:`format_portfolio_table`.
+"""
+
+from repro.portfolio.members import (
+    DEFAULT_MEMBERS,
+    available_members,
+    run_member,
+    schedule_digest,
+)
+from repro.portfolio.portfolio import Portfolio, PortfolioResult, format_portfolio_table
+
+__all__ = [
+    "DEFAULT_MEMBERS",
+    "available_members",
+    "run_member",
+    "schedule_digest",
+    "Portfolio",
+    "PortfolioResult",
+    "format_portfolio_table",
+]

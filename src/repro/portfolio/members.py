@@ -1,0 +1,111 @@
+"""Portfolio members: named scheduler pipelines runnable on any instance.
+
+A *member* is a string naming one complete scheduling pipeline:
+
+* ``"<first-stage>+<policy>"`` — a two-stage pipeline, e.g.
+  ``"bspg+clairvoyant"``, ``"cilk+lru"``, ``"etf+clairvoyant"`` or
+  ``"dfs+clairvoyant"`` (the latter only applies to ``P = 1`` instances);
+* ``"ilp"`` — the holistic ILP scheduler warm-started from the baseline;
+* ``"dac"`` — the divide-and-conquer ILP for larger DAGs.
+
+:func:`run_member` evaluates one member on one instance and reports the
+achieved :func:`~repro.model.cost.schedule_cost` as an
+:class:`~repro.experiments.runner.InstanceResult` (both cost fields carry
+the member's cost; ``extra_costs["member_cost"]`` repeats it for table
+code).  For deterministic members the ``solver_status`` field carries a
+digest of the produced schedule, so callers can assert two runs produced
+*bit-identical* schedules, not merely equal costs.  Members that do not
+apply to an instance (e.g. ``dfs`` with ``P > 1``) report an infinite cost
+instead of failing the whole sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Dict, List
+
+from repro.dag.graph import ComputationalDag
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import (
+    ExperimentConfig,
+    InstanceResult,
+    run_divide_and_conquer_instance,
+    run_instance,
+)
+from repro.core.two_stage import run_two_stage
+from repro.model.schedule import MbspSchedule
+from repro.model.serialization import schedule_to_dict
+
+#: The default portfolio evaluated by :class:`repro.portfolio.Portfolio`.
+DEFAULT_MEMBERS = ("bspg+clairvoyant", "cilk+lru", "ilp")
+
+#: All first-stage/policy combinations exposed as two-stage members.
+TWO_STAGE_SCHEDULERS = ("bspg", "cilk", "etf", "dfs", "bsp-ilp")
+TWO_STAGE_POLICIES = ("clairvoyant", "lru", "fifo")
+
+
+def available_members() -> List[str]:
+    """Every member name understood by :func:`run_member`."""
+    members = [
+        f"{scheduler}+{policy}"
+        for scheduler in TWO_STAGE_SCHEDULERS
+        for policy in TWO_STAGE_POLICIES
+    ]
+    members += ["ilp", "dac"]
+    return members
+
+
+def schedule_digest(schedule: MbspSchedule) -> str:
+    """Short stable digest of a schedule's exact superstep structure."""
+    blob = json.dumps(schedule_to_dict(schedule), sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def run_member(dag: ComputationalDag, config: ExperimentConfig, member: str) -> InstanceResult:
+    """Evaluate one portfolio ``member`` on ``dag`` under ``config``."""
+    name = member.strip().lower()
+    if name == "ilp":
+        result = run_instance(dag, config)
+        result.extra_costs["member_cost"] = result.ilp_cost
+        return result
+    if name in ("dac", "divide-and-conquer"):
+        result = run_divide_and_conquer_instance(dag, config)
+        result.extra_costs["member_cost"] = result.ilp_cost
+        return result
+    scheduler, sep, policy = name.partition("+")
+    if not sep:
+        raise ConfigurationError(
+            f"unknown portfolio member {member!r}; "
+            f"expected 'ilp', 'dac' or '<scheduler>+<policy>' "
+            f"(see repro.portfolio.available_members())"
+        )
+    instance = config.instance_for(dag)
+    try:
+        two_stage = run_two_stage(
+            instance,
+            scheduler=scheduler,
+            policy=policy or None,
+            synchronous=config.synchronous,
+            seed=config.seed,
+        )
+    except ConfigurationError as exc:
+        # e.g. the DFS first stage on a multi-processor instance: the member
+        # simply does not compete on this instance
+        return InstanceResult(
+            instance_name=dag.name,
+            num_nodes=dag.num_nodes,
+            baseline_cost=math.inf,
+            ilp_cost=math.inf,
+            solver_status=f"inapplicable: {exc}",
+            extra_costs={"member_cost": math.inf},
+        )
+    return InstanceResult(
+        instance_name=dag.name,
+        num_nodes=dag.num_nodes,
+        baseline_cost=two_stage.cost,
+        ilp_cost=two_stage.cost,
+        solver_status=f"schedule:{schedule_digest(two_stage.mbsp_schedule)}",
+        extra_costs={"member_cost": two_stage.cost},
+    )

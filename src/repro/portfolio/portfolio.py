@@ -1,0 +1,144 @@
+"""The scheduler portfolio: run several schedulers, keep the best per instance.
+
+The ILP-based schedulers dominate on some instances and the cheap two-stage
+pipelines on others (and the ILP is orders of magnitude more expensive), so
+the natural production configuration is a *portfolio*: evaluate a set of
+member pipelines on every instance — fanned out over the parallel experiment
+engine — and report, per instance, the member achieving the lowest MBSP cost.
+
+    >>> from repro.portfolio import Portfolio
+    >>> portfolio = Portfolio()
+    >>> winners = portfolio.run(["bspg+clairvoyant", "cilk+lru", "ilp"], dags,
+    ...                         workers=4)
+    >>> winners[0].best_member, winners[0].best_cost
+
+All engine features apply: ``workers=N`` parallelises over processes,
+``cache_dir`` makes repeated sweeps free, and ``results_path``/``resume``
+stream and resume long sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dag.graph import ComputationalDag
+from repro.exceptions import ConfigurationError
+from repro.experiments.parallel import ExperimentEngine, ExperimentJob
+from repro.experiments.runner import ExperimentConfig, InstanceResult
+from repro.portfolio.members import DEFAULT_MEMBERS, available_members
+
+
+@dataclass
+class PortfolioResult:
+    """Per-instance outcome of a portfolio run."""
+
+    instance_name: str
+    num_nodes: int
+    member_costs: Dict[str, float] = field(default_factory=dict)
+    member_status: Dict[str, str] = field(default_factory=dict)
+    best_member: str = ""
+    best_cost: float = math.inf
+
+    @property
+    def has_winner(self) -> bool:
+        """False when no member applied to the instance (all costs infinite)."""
+        return bool(self.best_member)
+
+    @property
+    def ranking(self) -> List[str]:
+        """Members from best (cheapest) to worst; ties keep portfolio order."""
+        return sorted(self.member_costs, key=lambda m: self.member_costs[m])
+
+
+class Portfolio:
+    """Evaluates a set of scheduler members and picks the best per instance."""
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        workers: int = 1,
+        cache_dir=None,
+        results_path=None,
+        resume: bool = False,
+    ) -> None:
+        self.config = config or ExperimentConfig(name="portfolio")
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.results_path = results_path
+        self.resume = resume
+
+    def run(
+        self,
+        members: Optional[Sequence[str]] = None,
+        dags: Sequence[ComputationalDag] = (),
+        workers: Optional[int] = None,
+        engine: Optional[ExperimentEngine] = None,
+    ) -> List[PortfolioResult]:
+        """Run every member on every DAG; return one result per DAG (in order).
+
+        Jobs are submitted instance-major, so with ``workers > 1`` all
+        members of all instances execute concurrently; the reduction to the
+        per-instance winner happens deterministically in submission order
+        (ties broken by the position in ``members``).
+        """
+        members = list(DEFAULT_MEMBERS) if members is None else list(members)
+        if not members:
+            raise ConfigurationError("a portfolio needs at least one member")
+        known = set(available_members())
+        for member in members:
+            if member not in known:
+                raise ConfigurationError(
+                    f"unknown portfolio member {member!r}; available: {sorted(known)}"
+                )
+        if engine is None:
+            engine = ExperimentEngine(
+                workers=self.workers if workers is None else workers,
+                cache_dir=self.cache_dir,
+                results_path=self.results_path,
+                resume=self.resume,
+            )
+        dags = list(dags)
+        jobs = [
+            ExperimentJob.make("portfolio", dag, self.config, member=member)
+            for dag in dags
+            for member in members
+        ]
+        flat = engine.run(jobs)
+
+        out: List[PortfolioResult] = []
+        for i, dag in enumerate(dags):
+            row = PortfolioResult(instance_name=dag.name, num_nodes=dag.num_nodes)
+            for j, member in enumerate(members):
+                result: InstanceResult = flat[i * len(members) + j]
+                cost = result.extra_costs.get("member_cost", result.ilp_cost)
+                row.member_costs[member] = cost
+                row.member_status[member] = result.solver_status
+                if cost < row.best_cost:  # strict: first member wins ties
+                    row.best_cost = cost
+                    row.best_member = member
+            out.append(row)
+        return out
+
+
+def format_portfolio_table(results: Sequence[PortfolioResult]) -> str:
+    """Fixed-width text rendering of a portfolio run (one row per instance)."""
+    members: List[str] = []
+    for row in results:
+        for member in row.member_costs:
+            if member not in members:
+                members.append(member)
+    header = f"{'instance':<20s} {'n':>5s}"
+    for member in members:
+        header += f" {member:>18s}"
+    header += f"  {'winner':<18s}"
+    lines = [header, "-" * len(header)]
+    for row in results:
+        line = f"{row.instance_name:<20s} {row.num_nodes:>5d}"
+        for member in members:
+            cost = row.member_costs.get(member, math.inf)
+            line += f" {cost:>18.1f}" if math.isfinite(cost) else f" {'-':>18s}"
+        line += f"  {row.best_member if row.has_winner else '(none applicable)':<18s}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,6 +1,16 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Tests default to a 1-second ILP time limit (``REPRO_ILP_TIME_LIMIT=1``):
+the suite exercises the harness end to end, not solution quality.  Export
+the variable yourself to override.  Long solver tests carry the ``slow``
+marker and are excluded from the default run (see ``pytest.ini``).
+"""
 
 from __future__ import annotations
+
+import os
+
+os.environ.setdefault("REPRO_ILP_TIME_LIMIT", "1")
 
 import pytest
 

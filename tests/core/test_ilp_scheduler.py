@@ -39,6 +39,7 @@ class TestEstimateTimeSteps:
 
 
 class TestIlpScheduler:
+    @pytest.mark.slow
     def test_never_worse_than_baseline_synchronous(self):
         instance = tiny_instance()
         result = MbspIlpScheduler(FAST).schedule(instance)
@@ -47,6 +48,7 @@ class TestIlpScheduler:
         validate_schedule(result.best_schedule, require_all_computed=False)
         assert synchronous_cost(result.best_schedule) == pytest.approx(result.best_cost)
 
+    @pytest.mark.slow
     def test_finds_improvement_on_easy_instance(self):
         """The fork-join gadget has an obviously better schedule than the
         superstep-heavy baseline; 10 seconds are plenty for HiGHS here."""
@@ -55,6 +57,7 @@ class TestIlpScheduler:
         assert result.ilp_cost is not None
         assert result.ilp_cost < result.baseline.cost
 
+    @pytest.mark.slow
     def test_asynchronous_mode(self):
         instance = tiny_instance(L=0.0)
         config = MbspIlpConfig(synchronous=False, solver_options=SolverOptions(time_limit=10.0))
@@ -65,6 +68,7 @@ class TestIlpScheduler:
         )
         assert result.best_cost <= result.baseline.cost + 1e-9
 
+    @pytest.mark.slow
     def test_no_recomputation_mode(self):
         instance = tiny_instance()
         config = MbspIlpConfig(
@@ -80,6 +84,16 @@ class TestIlpScheduler:
         result = MbspIlpScheduler(config).schedule(instance)
         assert result.best_cost == result.baseline.cost
 
+    def test_fast_smoke_never_worse_than_baseline(self):
+        """1-second variant of the end-to-end path, kept in the fast suite."""
+        instance = tiny_instance()
+        config = MbspIlpConfig(solver_options=SolverOptions(time_limit=1.0))
+        result = MbspIlpScheduler(config).schedule(instance)
+        assert result.best_cost <= result.baseline.cost + 1e-9
+        validate_schedule(result.best_schedule, require_all_computed=False)
+        assert synchronous_cost(result.best_schedule) == pytest.approx(result.best_cost)
+
+    @pytest.mark.slow
     def test_explicit_baseline_reused(self):
         instance = tiny_instance()
         base = baseline_schedule(instance)
@@ -96,6 +110,7 @@ class TestScheduleMbspEntryPoint:
         schedule = schedule_mbsp(small_instance, method="practical")
         validate_schedule(schedule)
 
+    @pytest.mark.slow
     def test_ilp_method(self):
         instance = tiny_instance()
         schedule = schedule_mbsp(instance, method="ilp", config=FAST)

@@ -10,6 +10,8 @@ import pytest
 from repro.experiments.figures import RatioSeries, render_figure4, theorem41_comparison
 from repro.experiments.runner import (
     ExperimentConfig,
+    _env_float,
+    _env_int,
     dataset_limit,
     dataset_scale,
     run_divide_and_conquer_instance,
@@ -67,7 +69,45 @@ class TestExperimentConfig:
         monkeypatch.setenv("REPRO_BENCH_LIMIT", "3")
         assert dataset_limit() == 3
         monkeypatch.setenv("REPRO_BENCH_LIMIT", "xyz")
-        assert dataset_limit() is None
+        with pytest.warns(UserWarning, match="REPRO_BENCH_LIMIT"):
+            assert dataset_limit() is None
+
+
+class TestEnvParsingHelpers:
+    """Malformed environment values fall back to the default — loudly."""
+
+    def test_env_float_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert _env_float("REPRO_TEST_KNOB", 2.5) == 2.5
+
+    def test_env_float_parses_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "7.25")
+        assert _env_float("REPRO_TEST_KNOB", 2.5) == 7.25
+
+    def test_env_float_malformed_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "fast")
+        with pytest.warns(UserWarning, match="REPRO_TEST_KNOB"):
+            assert _env_float("REPRO_TEST_KNOB", 2.5) == 2.5
+
+    def test_env_int_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert _env_int("REPRO_TEST_KNOB", 4) == 4
+        assert _env_int("REPRO_TEST_KNOB", None) is None
+
+    def test_env_int_parses_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "12")
+        assert _env_int("REPRO_TEST_KNOB", None) == 12
+
+    def test_env_int_malformed_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "3.5")
+        with pytest.warns(UserWarning, match="REPRO_TEST_KNOB"):
+            assert _env_int("REPRO_TEST_KNOB", 9) == 9
+
+    def test_valid_values_do_not_warn(self, monkeypatch, recwarn):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "3")
+        assert _env_int("REPRO_TEST_KNOB", 1) == 3
+        assert _env_float("REPRO_TEST_KNOB", 1.0) == 3.0
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
 
 
 class TestRunners:
@@ -78,6 +118,7 @@ class TestRunners:
         assert result.ilp_cost <= result.baseline_cost + 1e-9
         assert 0 < result.ratio <= 1.0 + 1e-9
 
+    @pytest.mark.slow
     def test_run_instance_with_baselines_extra_columns(self, tiny_dag):
         result = run_instance_with_baselines(tiny_dag, FAST)
         for key in ("weak", "bsp_ilp", "bsp_ilp_plus_ilp"):

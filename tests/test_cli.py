@@ -24,6 +24,29 @@ class TestParser:
         args = cli.build_parser().parse_args(["experiment", "--table", "4", "--limit", "2"])
         assert args.table == 4
         assert args.limit == 2
+        assert args.workers == 1
+        assert args.cache_dir is None
+        assert args.resume is False
+
+    def test_experiment_engine_arguments(self):
+        args = cli.build_parser().parse_args([
+            "experiment", "--workers", "4", "--cache-dir", "/tmp/c",
+            "--results", "r.jsonl", "--resume", "--node-limit", "500",
+        ])
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.results == "r.jsonl"
+        assert args.resume is True
+        assert args.node_limit == 500
+
+    def test_portfolio_arguments(self):
+        args = cli.build_parser().parse_args([
+            "portfolio", "--members", "bspg+clairvoyant,ilp", "--limit", "3",
+            "--workers", "2",
+        ])
+        assert args.members == "bspg+clairvoyant,ilp"
+        assert args.limit == 3
+        assert args.workers == 2
 
 
 class TestScheduleCommand:
@@ -87,3 +110,35 @@ class TestExperimentCommand:
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "geometric-mean" in out
+        assert "engine:" in out
+
+    def test_table1_cached_rerun_is_free(self, tmp_path, capsys):
+        argv = [
+            "experiment", "--table", "1", "--limit", "1", "--time-limit", "0.5",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert cli.main(argv) == 0
+        first = capsys.readouterr().out
+        assert "1 executed, 0 cache hits" in first
+        assert cli.main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 1 cache hits" in second
+        # the cached run reports the exact same table
+        assert first.split("engine:")[0] == second.split("engine:")[0]
+
+
+class TestPortfolioCommand:
+    def test_portfolio_run_prints_winners(self, capsys):
+        exit_code = cli.main([
+            "portfolio", "--members", "bspg+clairvoyant,cilk+lru",
+            "--limit", "2", "--workers", "2", "--time-limit", "0.5",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "wins per member" in out
+        assert "engine:" in out
+
+    def test_portfolio_rejects_unknown_member(self):
+        with pytest.raises(Exception):
+            cli.main(["portfolio", "--members", "quantum", "--limit", "1"])
