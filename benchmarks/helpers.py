@@ -9,6 +9,9 @@ attached to the benchmark's ``extra_info``.
 Environment knobs:
 
 * ``REPRO_ILP_TIME_LIMIT``  — seconds per ILP solve (default set per bench),
+* ``REPRO_ILP_BACKEND``     — ILP solver backend for every solve
+  (``scipy``/``bnb``/``auto``; picked up by every ``ExperimentConfig`` the
+  benchmarks construct and recorded in the benchmark ``extra_info``),
 * ``REPRO_BENCH_SCALE``     — ``default`` (reduced sizes) or ``paper``,
 * ``REPRO_BENCH_LIMIT``     — only run the first N instances of a dataset,
 * ``REPRO_BENCH_WORKERS``   — worker processes for the experiment engine,
@@ -43,6 +46,18 @@ def env_workers(default: int = 1) -> int:
     return max(1, _env_int("REPRO_BENCH_WORKERS", default) or default)
 
 
+def env_backend() -> str:
+    """The ILP solver backend selected through REPRO_ILP_BACKEND.
+
+    Every :class:`~repro.experiments.runner.ExperimentConfig` a benchmark
+    constructs resolves this knob itself; the helper exists so harness code
+    can *report* which backend a run used.
+    """
+    from repro.ilp import default_backend
+
+    return default_backend()
+
+
 def make_engine(workers: Optional[int] = None):
     """An :class:`~repro.experiments.parallel.ExperimentEngine` configured
     from the environment (REPRO_BENCH_WORKERS, REPRO_CACHE_DIR)."""
@@ -70,6 +85,7 @@ def record_results(
     if benchmark is not None:
         benchmark.extra_info["geomean_ratio"] = geometric_mean([r.ratio for r in results])
         benchmark.extra_info["instances"] = len(results)
+        benchmark.extra_info["ilp_backend"] = env_backend()
 
 
 def record_text(name: str, text: str, benchmark=None, **extra) -> None:

@@ -35,12 +35,14 @@ class BspIlpConfig:
     solver_options:
         Time limit / gap options passed to the ILP backend.
     backend:
-        ``"scipy"`` (HiGHS) or ``"bnb"`` (pure-Python branch and bound).
+        Any registered ILP backend name — ``"scipy"`` (HiGHS), ``"bnb"``
+        (pure-Python branch and bound) or ``"auto"``; ``None`` selects the
+        process default (see :mod:`repro.ilp.backends`).
     """
 
     max_supersteps: Optional[int] = None
     solver_options: SolverOptions = None
-    backend: str = "scipy"
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.solver_options is None:

@@ -18,6 +18,15 @@ results and resume interrupted sweeps.  Add ``--node-limit`` to bound ILP
 solves by branch-and-bound nodes instead of wall clock when a sweep must be
 exactly reproducible regardless of machine load.
 
+Every ILP solve goes through the pluggable backend registry
+(:mod:`repro.ilp.backends`): ``--backend scipy|bnb|auto`` selects the solver
+per command (default: ``REPRO_ILP_BACKEND`` or ``scipy``).  The portfolio
+additionally supports bound-aware pruning: ``--prune-gap G`` skips the
+warm-started ``ilp`` member's solve when its baseline is provably within
+``G`` of the theory lower bound (default ``0.0`` — skip only provably
+optimal baselines, which never changes the reported best costs;
+``--no-prune`` disables the check).
+
 Examples
 --------
 ```
@@ -25,7 +34,9 @@ python -m repro.cli schedule --generator spmv --size 5 --processors 2 --method i
 python -m repro.cli schedule --dag-file my_graph.json --processors 4 --method baseline --render
 python -m repro.cli dataset --which tiny --scale default
 python -m repro.cli experiment --table 1 --limit 3 --time-limit 5 --workers 4 --cache-dir .repro-cache
+python -m repro.cli experiment --table 1 --backend auto --workers 4
 python -m repro.cli portfolio --members bspg+clairvoyant,cilk+lru,ilp --limit 4 --workers 4
+python -m repro.cli portfolio --backend auto --prune-gap 0.05 --processors 1
 ```
 """
 
@@ -102,6 +113,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     config = MbspIlpConfig(
         synchronous=not args.asynchronous,
         solver_options=SolverOptions(time_limit=args.time_limit),
+        backend=args.backend,
     )
     schedule = schedule_mbsp(instance, method=args.method, config=config,
                              synchronous=not args.asynchronous, seed=args.seed)
@@ -149,6 +161,12 @@ def _make_engine(args: argparse.Namespace):
     )
 
 
+def _backend_kwargs(args: argparse.Namespace) -> dict:
+    """``ilp_backend`` keyword for ExperimentConfig when ``--backend`` was
+    given (otherwise the config falls back to REPRO_ILP_BACKEND / scipy)."""
+    return {"ilp_backend": args.backend} if args.backend else {}
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import paper_reference
     from repro.experiments.reporting import format_results_table
@@ -156,7 +174,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.tables import table1, table2, table4
 
     engine = _make_engine(args)
-    config = ExperimentConfig(ilp_time_limit=args.time_limit, ilp_node_limit=args.node_limit)
+    config = ExperimentConfig(
+        ilp_time_limit=args.time_limit,
+        ilp_node_limit=args.node_limit,
+        **_backend_kwargs(args),
+    )
     if args.table == 1:
         results = table1(config=config, limit=args.limit, engine=engine)
         print(format_results_table(results, "Table 1", paper_reference.TABLE1))
@@ -164,7 +186,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         results = table2(limit=args.limit,
                          config=ExperimentConfig(cache_factor=5.0,
                                                  ilp_time_limit=args.time_limit,
-                                                 ilp_node_limit=args.node_limit),
+                                                 ilp_node_limit=args.node_limit,
+                                                 **_backend_kwargs(args)),
                          engine=engine)
         print(format_results_table(results, "Table 2", paper_reference.TABLE2))
     elif args.table == 4:
@@ -194,8 +217,10 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         num_processors=args.processors,
         ilp_time_limit=args.time_limit,
         ilp_node_limit=args.node_limit,
+        **_backend_kwargs(args),
     )
-    portfolio = Portfolio(config=config)
+    prune_gap = None if args.no_prune else args.prune_gap
+    portfolio = Portfolio(config=config, prune_gap=prune_gap)
     rows = portfolio.run(members, dags, engine=engine)
     print(format_portfolio_table(rows))
     wins: dict = {}
@@ -204,6 +229,12 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         wins[winner] = wins.get(winner, 0) + 1
     summary = ", ".join(f"{member}: {count}" for member, count in sorted(wins.items()))
     print(f"wins per member: {summary}")
+    pruned = sum(row.num_pruned for row in rows)
+    if prune_gap is None:
+        print("bound pruning: disabled")
+    else:
+        print(f"bound pruning: {pruned} ILP solve(s) skipped (gap {prune_gap:g})")
+    print(f"ilp backend: {config.ilp_backend}")
     print(f"engine: {engine.stats.describe()}")
     return 0
 
@@ -212,6 +243,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_backend_argument(p: argparse.ArgumentParser) -> None:
+        from repro.ilp import available_backends
+
+        p.add_argument("--backend", default=None, choices=available_backends(),
+                       help="ILP solver backend for every solve of this command "
+                            "(default: REPRO_ILP_BACKEND or 'scipy'; 'auto' picks "
+                            "per model by size/structure)")
 
     sched = sub.add_parser("schedule", help="schedule one DAG")
     sched.add_argument("--generator", default="spmv", help=f"workload family ({sorted(GENERATORS)})")
@@ -225,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--method", default="baseline",
                        choices=["baseline", "practical", "ilp", "divide-and-conquer"])
     sched.add_argument("--time-limit", type=float, default=10.0)
+    add_backend_argument(sched)
     sched.add_argument("--asynchronous", action="store_true", help="optimise the asynchronous cost")
     sched.add_argument("--render", action="store_true", help="print superstep table and Gantt chart")
     sched.add_argument("--output", default=None, help="write the schedule to a JSON file")
@@ -254,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--table", type=int, choices=[1, 2, 4], default=1)
     exp.add_argument("--limit", type=int, default=None, help="only the first N instances")
     exp.add_argument("--time-limit", type=float, default=5.0)
+    add_backend_argument(exp)
     add_engine_arguments(exp)
     exp.set_defaults(func=_cmd_experiment)
 
@@ -266,6 +307,14 @@ def build_parser() -> argparse.ArgumentParser:
     port.add_argument("--limit", type=int, default=None, help="only the first N instances")
     port.add_argument("--processors", "-p", type=int, default=4)
     port.add_argument("--time-limit", type=float, default=5.0)
+    add_backend_argument(port)
+    port.add_argument("--prune-gap", type=float, default=0.0,
+                      help="skip ILP members whose baseline is provably within "
+                           "this relative gap of the theory lower bound "
+                           "(default 0.0 = only provably optimal baselines, "
+                           "which never changes the reported best costs)")
+    port.add_argument("--no-prune", action="store_true",
+                      help="disable bound-aware ILP pruning entirely")
     add_engine_arguments(port)
     port.set_defaults(func=_cmd_portfolio)
     return parser

@@ -36,14 +36,15 @@ class PartitionConfig:
     use_ilp:
         Disable to use only the topological sweep heuristic.
     backend:
-        ILP backend name.
+        ILP backend name (``None`` = process default, see
+        :mod:`repro.ilp.backends`).
     """
 
     max_part_size: int = 60
     balance_fraction: float = 1.0 / 3.0
     solver_options: SolverOptions = None
     use_ilp: bool = True
-    backend: str = "scipy"
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.solver_options is None:

@@ -98,7 +98,13 @@ class DivideAndConquerScheduler:
         partition_config: Optional[PartitionConfig] = None,
     ) -> None:
         self.ilp_config = ilp_config or MbspIlpConfig()
-        self.partition_config = partition_config or PartitionConfig(max_part_size=30)
+        if partition_config is None:
+            # the partition ILPs inherit the sub-problem ILPs' backend unless
+            # the caller configured the partitioner explicitly
+            partition_config = PartitionConfig(
+                max_part_size=30, backend=self.ilp_config.backend
+            )
+        self.partition_config = partition_config
 
     # ------------------------------------------------------------------
     def schedule(

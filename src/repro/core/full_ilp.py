@@ -79,7 +79,9 @@ class MbspIlpConfig:
         Optional upper bound on the objective (cost of a known schedule);
         mirrors warm-starting the solver with the baseline.
     solver_options / backend:
-        Passed to :func:`repro.ilp.solve`.
+        Passed to :func:`repro.ilp.solve`.  ``backend=None`` selects the
+        process default (``REPRO_ILP_BACKEND`` or ``"scipy"``); see
+        :mod:`repro.ilp.backends` for the registered names (incl. ``"auto"``).
     """
 
     synchronous: bool = True
@@ -89,7 +91,7 @@ class MbspIlpConfig:
     extra_steps: int = 2
     cutoff: Optional[float] = None
     solver_options: SolverOptions = None
-    backend: str = "scipy"
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.solver_options is None:

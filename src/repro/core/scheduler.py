@@ -2,9 +2,11 @@
 
 :class:`MbspIlpScheduler` implements the paper's holistic scheduler: it takes
 a two-stage baseline as the initial solution, builds the full ILP formulation
-with the baseline cost as an objective cutoff (emulating a warm start),
-solves it within a time limit, extracts the schedule and keeps whichever of
-the two schedules is cheaper under the exact cost evaluator.
+and solves it warm-started from the baseline cost
+(``SolverOptions.warm_start_objective``: an objective cutoff row for the
+HiGHS backend, an initial incumbent bound for branch and bound), extracts
+the schedule and keeps whichever of the two schedules is cheaper under the
+exact cost evaluator.
 
 :func:`schedule_mbsp` is the convenience entry point used by the examples and
 the experiment harness; it dispatches between the baselines, the full ILP and
@@ -14,7 +16,7 @@ the divide-and-conquer ILP.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.exceptions import ConfigurationError
@@ -93,7 +95,6 @@ class MbspIlpScheduler:
         num_steps = config.max_steps or estimate_time_steps(
             baseline.mbsp_schedule, config.extra_steps
         )
-        cutoff = config.cutoff if config.cutoff is not None else baseline.cost
 
         builder = MbspIlpBuilder(
             instance,
@@ -103,14 +104,30 @@ class MbspIlpScheduler:
                 allow_recomputation=config.allow_recomputation,
                 max_steps=num_steps,
                 extra_steps=config.extra_steps,
-                cutoff=cutoff,
+                # an explicitly configured cutoff is encoded in the model
+                # itself; the baseline incumbent travels as a solver-level
+                # warm start instead (below), so the model never carries two
+                # copies of the same objective bound
+                cutoff=config.cutoff,
                 solver_options=config.solver_options,
                 backend=config.backend,
             ),
             boundary=boundary,
         )
         model, variables = builder.build(num_steps)
-        solution = solve(model, config.solver_options, backend=config.backend)
+        solver_options = config.solver_options
+        if (
+            solver_options is not None
+            and solver_options.warm_start_objective is None
+            and config.cutoff is None
+        ):
+            # warm start from the two-stage incumbent: the scipy backend gets
+            # an objective cutoff row, branch and bound an incumbent bound —
+            # the solver only ever searches for strict improvements
+            solver_options = replace(
+                solver_options, warm_start_objective=float(baseline.cost)
+            )
+        solution = solve(model, solver_options, backend=config.backend)
 
         ilp_schedule: Optional[MbspSchedule] = None
         ilp_cost: Optional[float] = None

@@ -8,7 +8,9 @@ module provides the architectural seam all experiment batches go through:
   (which per-instance runner to call), a serialized DAG, an
   :class:`~repro.experiments.runner.ExperimentConfig` and extra parameters.
   Every job has a stable content hash (:meth:`ExperimentJob.key`) over the
-  DAG structure, weights and the full configuration.
+  DAG structure, weights and the full configuration — including the per-job
+  ILP solver backend (``ExperimentConfig.ilp_backend``), so sweeps over
+  different backends never collide in the result cache.
 * :class:`ExperimentEngine` — executes a batch of jobs either inline
   (``workers=1``) or on a :class:`~concurrent.futures.ProcessPoolExecutor`
   (``workers>1``; one fresh pool per batch — startup is negligible next to
@@ -129,7 +131,8 @@ def execute_job(job: ExperimentJob) -> InstanceResult:
         # imported lazily: repro.portfolio itself submits through this engine
         from repro.portfolio.members import run_member
 
-        return run_member(dag, job.config, str(params["member"]))
+        member = str(params.pop("member"))
+        return run_member(dag, job.config, member, **params)
     raise ConfigurationError(f"unknown experiment job kind {job.kind!r}")
 
 

@@ -17,13 +17,16 @@ harness.
 Environment knobs (respected by the default configuration):
 
 * ``REPRO_ILP_TIME_LIMIT`` — per-ILP-solve time limit in seconds (default 10);
+* ``REPRO_ILP_BACKEND`` — ILP solver backend for every solve dispatched by
+  the configuration (``scipy``/``bnb``/``auto``; default ``scipy``, see
+  :mod:`repro.ilp.backends`);
 * ``REPRO_BENCH_SCALE`` — ``default`` or ``paper`` dataset scale;
 * ``REPRO_BENCH_LIMIT`` — only run the first N instances of each dataset;
 * ``REPRO_BENCH_WORKERS`` — worker processes for the experiment engine;
 * ``REPRO_CACHE_DIR`` — on-disk result cache directory for the engine.
 
-Malformed values of the numeric knobs fall back to their defaults, but emit
-a :class:`UserWarning` instead of being silently swallowed.
+Malformed values of the knobs fall back to their defaults, but emit a
+:class:`UserWarning` instead of being silently swallowed.
 """
 
 from __future__ import annotations
@@ -36,7 +39,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.dag.graph import ComputationalDag
-from repro.ilp import SolverOptions
+from repro.ilp import SolverOptions, default_backend
 from repro.model.instance import MbspInstance, make_instance
 from repro.core.full_ilp import MbspIlpConfig
 from repro.core.scheduler import MbspIlpScheduler
@@ -94,6 +97,9 @@ class ExperimentConfig:
     allow_recomputation: bool = True
     ilp_time_limit: float = field(default_factory=lambda: _env_float("REPRO_ILP_TIME_LIMIT", 10.0))
     ilp_node_limit: Optional[int] = None
+    # resolved at construction time (env: REPRO_ILP_BACKEND) so that the
+    # parallel engine's content-hash job keys cover the backend actually used
+    ilp_backend: str = field(default_factory=default_backend)
     step_cap: Optional[int] = None
     seed: int = 0
 
@@ -117,6 +123,7 @@ class ExperimentConfig:
             solver_options=SolverOptions(
                 time_limit=self.ilp_time_limit, node_limit=self.ilp_node_limit
             ),
+            backend=self.ilp_backend,
         )
 
     def variant(self, **changes) -> "ExperimentConfig":
@@ -188,10 +195,24 @@ def geometric_mean(values: Sequence[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def run_instance(dag: ComputationalDag, config: ExperimentConfig) -> InstanceResult:
-    """Run the main comparison (two-stage baseline vs. full ILP) on one DAG."""
-    instance = config.instance_for(dag)
-    base = baseline_schedule(instance, synchronous=config.synchronous, seed=config.seed)
+def run_instance(
+    dag: ComputationalDag,
+    config: ExperimentConfig,
+    *,
+    instance: Optional[MbspInstance] = None,
+    baseline=None,
+) -> InstanceResult:
+    """Run the main comparison (two-stage baseline vs. full ILP) on one DAG.
+
+    ``instance`` and ``baseline`` let callers that already materialized them
+    (e.g. the portfolio's bound-pruning check) avoid recomputing; both must
+    stem from the same ``config`` when provided.
+    """
+    if instance is None:
+        instance = config.instance_for(dag)
+    base = baseline if baseline is not None else baseline_schedule(
+        instance, synchronous=config.synchronous, seed=config.seed
+    )
     scheduler = MbspIlpScheduler(config.ilp_config())
     result = scheduler.schedule(instance, baseline=base)
     return InstanceResult(
@@ -270,7 +291,8 @@ def run_instance_with_baselines(dag: ComputationalDag, config: ExperimentConfig)
         synchronous=config.synchronous,
         seed=config.seed,
         bsp_ilp_config=BspIlpConfig(
-            solver_options=SolverOptions(time_limit=max(config.ilp_time_limit / 2, 2.0))
+            solver_options=SolverOptions(time_limit=max(config.ilp_time_limit / 2, 2.0)),
+            backend=config.ilp_backend,
         ),
     )
     stronger = scheduler.schedule(instance, baseline=bsp_ilp_base)
@@ -308,6 +330,7 @@ def run_divide_and_conquer_instance(
         partition_config=PartitionConfig(
             max_part_size=max_part_size,
             solver_options=SolverOptions(time_limit=partition_time_limit),
+            backend=config.ilp_backend,
         ),
     )
     result = scheduler.schedule(instance, baseline=base)

@@ -1,9 +1,12 @@
-"""Self-contained ILP modeling layer and solver backends.
+"""Self-contained ILP modeling layer and pluggable solver backends.
 
 The :class:`IlpModel` / :class:`Variable` / :func:`lin_sum` API is a minimal
-PuLP-like modeling layer; models are solved either through
-:func:`solve_with_scipy` (HiGHS via ``scipy.optimize.milp``, the default) or
-through the pure-Python :func:`solve_with_branch_and_bound` fallback.
+PuLP-like modeling layer; models are solved through :func:`solve`, which
+dispatches into the backend registry of :mod:`repro.ilp.backends`:
+``"scipy"`` (HiGHS via ``scipy.optimize.milp``, the default), ``"bnb"``
+(the pure-Python branch and bound) or ``"auto"`` (per-model choice by
+size/structure with error fallback).  ``backend=None`` selects the process
+default — ``REPRO_ILP_BACKEND`` or ``"scipy"``.
 """
 
 from repro.ilp.expr import INF, Constraint, LinExpr, Variable, lin_sum
@@ -11,15 +14,30 @@ from repro.ilp.model import CompiledModel, IlpModel, Sense
 from repro.ilp.solution import IlpSolution, SolutionStatus
 from repro.ilp.scipy_backend import SolverOptions, solve_with_scipy
 from repro.ilp.branch_and_bound import solve_with_branch_and_bound
+from repro.ilp.backends import (
+    DEFAULT_BACKEND,
+    ENV_BACKEND,
+    AutoBackend,
+    FunctionBackend,
+    SolverBackend,
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+    reset_solver_call_stats,
+    resolve_backend_name,
+    solve_model,
+    solver_call_stats,
+)
 
 
-def solve(model: IlpModel, options: SolverOptions | None = None, backend: str = "scipy") -> IlpSolution:
-    """Solve ``model`` with the selected backend (``"scipy"`` or ``"bnb"``)."""
-    if backend == "scipy":
-        return solve_with_scipy(model, options)
-    if backend in ("bnb", "branch_and_bound"):
-        return solve_with_branch_and_bound(model, options)
-    raise ValueError(f"unknown ILP backend {backend!r}")
+def solve(
+    model: IlpModel,
+    options: SolverOptions | None = None,
+    backend: str | None = None,
+) -> IlpSolution:
+    """Solve ``model`` with the selected backend (``None`` = process default)."""
+    return solve_model(model, options, backend)
 
 
 __all__ = [
@@ -37,4 +55,17 @@ __all__ = [
     "solve",
     "solve_with_scipy",
     "solve_with_branch_and_bound",
+    "DEFAULT_BACKEND",
+    "ENV_BACKEND",
+    "AutoBackend",
+    "FunctionBackend",
+    "SolverBackend",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_name",
+    "solve_model",
+    "solver_call_stats",
+    "reset_solver_call_stats",
 ]

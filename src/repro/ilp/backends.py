@@ -1,0 +1,263 @@
+"""Pluggable ILP solver backends: a registry, dispatch, and the ``auto`` policy.
+
+Every MILP in the library (the full MBSP formulation, the BSP first-stage
+ILP, the acyclic-bipartition ILP) is solved through :func:`solve_model`,
+which looks the backend up in a process-wide registry:
+
+* ``"scipy"`` — :func:`repro.ilp.scipy_backend.solve_with_scipy`
+  (HiGHS branch and cut; the default, standing in for the paper's COPT);
+* ``"bnb"`` — :func:`repro.ilp.branch_and_bound.solve_with_branch_and_bound`
+  (the pure-Python LP-based branch and bound, dependency-light and fully
+  transparent);
+* ``"auto"`` — picks per model by size/structure: tiny models (few integer
+  variables and constraints) go to the transparent ``bnb`` solver, anything
+  larger to HiGHS, and a :class:`~repro.exceptions.SolverError` in the
+  chosen backend falls back to the other one.
+
+Backend selection threads through the whole stack: ``SolverOptions`` are
+shared by all backends (including ``warm_start_objective``, the incumbent
+bound used to warm-start a solve), scheduler configurations carry a
+``backend`` field, :class:`~repro.experiments.runner.ExperimentConfig`
+carries ``ilp_backend`` (so parallel-engine job hashes cover the backend),
+and the CLI exposes ``--backend``.  The process default is ``"scipy"``,
+overridable through the ``REPRO_ILP_BACKEND`` environment variable; an
+unknown name in the environment warns and falls back to the default
+(malformed env knobs never fail hard, matching the other ``REPRO_*``
+variables), while an unknown name passed explicitly raises ``ValueError``.
+
+The module also counts solver invocations (:func:`solver_call_stats`), which
+is how tests assert that bound-aware portfolio pruning really avoids solver
+calls.  Counts are per process: jobs fanned out by the parallel experiment
+engine count in their worker processes, not in the parent.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.exceptions import SolverError
+from repro.ilp.branch_and_bound import solve_with_branch_and_bound
+from repro.ilp.model import IlpModel
+from repro.ilp.scipy_backend import SolverOptions, solve_with_scipy
+from repro.ilp.solution import IlpSolution
+
+#: Environment variable selecting the process-wide default backend.
+ENV_BACKEND = "REPRO_ILP_BACKEND"
+
+#: The built-in default backend (HiGHS via scipy).
+DEFAULT_BACKEND = "scipy"
+
+#: ``auto`` routes models with at most this many integer variables ...
+AUTO_BNB_MAX_INTEGERS = 20
+#: ... and at most this many constraints to the pure-Python solver.
+AUTO_BNB_MAX_CONSTRAINTS = 120
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """The protocol every registered solver backend implements."""
+
+    name: str
+
+    def solve(self, model: IlpModel, options: Optional[SolverOptions] = None) -> IlpSolution:
+        """Solve ``model`` under ``options`` and return an :class:`IlpSolution`."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class FunctionBackend:
+    """Adapter turning a plain ``solve(model, options)`` function into a backend."""
+
+    name: str
+    fn: Callable[[IlpModel, Optional[SolverOptions]], IlpSolution]
+    description: str = ""
+
+    def solve(self, model: IlpModel, options: Optional[SolverOptions] = None) -> IlpSolution:
+        return self.fn(model, options)
+
+
+class AutoBackend:
+    """Structure-aware dispatch: small models to ``bnb``, large ones to HiGHS.
+
+    The pure-Python branch and bound is competitive only on tiny models, but
+    there it is fully transparent and dependency-free; everything bigger goes
+    to HiGHS.  If the chosen backend raises :class:`SolverError` (e.g. the
+    MILP interface is unavailable in a stripped-down scipy), the other
+    backend is tried before giving up — ``auto`` is therefore also the
+    resilient production choice.
+    """
+
+    name = "auto"
+
+    def choose(self, model: IlpModel) -> str:
+        """Name of the concrete backend ``auto`` would use for ``model``."""
+        stats = model.statistics()
+        if (
+            stats["integers"] <= AUTO_BNB_MAX_INTEGERS
+            and stats["constraints"] <= AUTO_BNB_MAX_CONSTRAINTS
+        ):
+            return "bnb"
+        return DEFAULT_BACKEND
+
+    def solve(self, model: IlpModel, options: Optional[SolverOptions] = None) -> IlpSolution:
+        primary = self.choose(model)
+        fallback = DEFAULT_BACKEND if primary != DEFAULT_BACKEND else "bnb"
+        try:
+            solution = get_backend(primary).solve(model, options)
+            chosen = primary
+        except SolverError:
+            solution = get_backend(fallback).solve(model, options)
+            chosen = fallback
+        solution.message = f"auto[{chosen}] {solution.message}".rstrip()
+        return solution
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, SolverBackend] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_backend(backend: SolverBackend, aliases: tuple = ()) -> SolverBackend:
+    """Register ``backend`` under its canonical name plus optional aliases.
+
+    Re-registering a name replaces the previous backend (useful in tests);
+    an alias may not shadow a different backend's canonical name.
+    """
+    name = backend.name.lower()
+    cleaned = [alias.lower() for alias in aliases]
+    # validate before mutating: a rejected registration must leave the
+    # registry untouched, and no name/alias may shadow (or be shadowed by)
+    # another backend's — get_backend resolves aliases first, so a collision
+    # would silently misdispatch
+    if _ALIASES.get(name, name) != name:
+        raise ValueError(
+            f"backend name {name!r} is already an alias of {_ALIASES[name]!r}"
+        )
+    for alias in cleaned:
+        if alias in _REGISTRY and alias != name:
+            raise ValueError(f"alias {alias!r} would shadow a registered backend")
+        if _ALIASES.get(alias, name) != name:
+            raise ValueError(
+                f"alias {alias!r} already points to backend {_ALIASES[alias]!r}"
+            )
+    _REGISTRY[name] = backend
+    for alias in cleaned:
+        _ALIASES[alias] = name
+    return backend
+
+
+def available_backends() -> List[str]:
+    """Sorted canonical names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> SolverBackend:
+    """Look up a backend by canonical name or alias; raise ``ValueError`` if unknown."""
+    key = str(name).lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown ILP backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def default_backend() -> str:
+    """The process default backend: ``REPRO_ILP_BACKEND`` or ``"scipy"``.
+
+    An unknown name in the environment emits a :class:`UserWarning` and falls
+    back to the built-in default, matching the warn-and-fall-back convention
+    of the other ``REPRO_*`` environment knobs.
+    """
+    value = os.environ.get(ENV_BACKEND)
+    if value is None or not value.strip():
+        return DEFAULT_BACKEND
+    try:
+        return get_backend(value.strip()).name
+    except ValueError:
+        warnings.warn(
+            f"ignoring unknown ILP backend {value!r} from environment variable "
+            f"{ENV_BACKEND}; available: {available_backends()}; "
+            f"using the default {DEFAULT_BACKEND!r}",
+            UserWarning,
+            stacklevel=2,
+        )
+        return DEFAULT_BACKEND
+
+
+def resolve_backend_name(name: Optional[str]) -> str:
+    """Canonical backend name for ``name``; ``None``/empty means the default.
+
+    Unknown explicit names raise ``ValueError`` (unlike the environment
+    default, which warns and falls back).
+    """
+    if name is None or not str(name).strip():
+        return default_backend()
+    return get_backend(name).name
+
+
+# ----------------------------------------------------------------------
+# call counting
+# ----------------------------------------------------------------------
+@dataclass
+class SolverCallStats:
+    """Per-process tally of dispatched solver calls, by backend name."""
+
+    total: int = 0
+    by_backend: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, name: str) -> None:
+        self.total += 1
+        self.by_backend[name] = self.by_backend.get(name, 0) + 1
+
+    def reset(self) -> None:
+        self.total = 0
+        self.by_backend.clear()
+
+
+_CALL_STATS = SolverCallStats()
+
+
+def solver_call_stats() -> SolverCallStats:
+    """The process-wide solver call tally (see the module docstring caveat)."""
+    return _CALL_STATS
+
+
+def reset_solver_call_stats() -> None:
+    """Zero the process-wide solver call tally (for tests and benchmarks)."""
+    _CALL_STATS.reset()
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+def solve_model(
+    model: IlpModel,
+    options: Optional[SolverOptions] = None,
+    backend: Optional[str] = None,
+) -> IlpSolution:
+    """Solve ``model`` with the selected (or default) backend.
+
+    This is the single dispatch point behind :func:`repro.ilp.solve`; every
+    call is counted in :func:`solver_call_stats`.
+    """
+    impl = get_backend(resolve_backend_name(backend))
+    _CALL_STATS.record(impl.name)
+    return impl.solve(model, options)
+
+
+register_backend(
+    FunctionBackend("scipy", solve_with_scipy, "HiGHS branch and cut (scipy.optimize.milp)"),
+    aliases=("highs",),
+)
+register_backend(
+    FunctionBackend("bnb", solve_with_branch_and_bound, "pure-Python LP-based branch and bound"),
+    aliases=("branch_and_bound", "branch-and-bound"),
+)
+register_backend(AutoBackend())

@@ -106,18 +106,38 @@ def solve_with_branch_and_bound(
     """Solve ``model`` by LP-based branch and bound.
 
     Returns the best incumbent found within the time/node limits; the status
-    is ``OPTIMAL`` only when the search tree was exhausted.
+    is ``OPTIMAL`` only when the search tree was exhausted.  Limit semantics
+    match the scipy backend: ``time_limit=None`` and ``node_limit=None`` mean
+    unlimited, ``node_limit=0`` forbids exploring any node, and hitting a
+    limit yields ``FEASIBLE`` with an incumbent or ``NO_SOLUTION`` without
+    one.  A ``warm_start_objective`` becomes the initial incumbent bound:
+    only strictly better solutions are searched for, and exhausting the tree
+    without finding one reports ``NO_SOLUTION`` (the warm start stands).
+    Nodes whose LP bound is within ``mip_rel_gap`` of the incumbent are
+    pruned, mirroring the gap-based early stop of the scipy backend.
     """
     options = options or SolverOptions()
     compiled = model.compile()
     start = time.perf_counter()
     deadline = None if options.time_limit is None else start + options.time_limit
-    node_limit = options.node_limit or 100_000
+    node_limit = math.inf if options.node_limit is None else max(0, int(options.node_limit))
 
     sign = 1.0 if compiled.sense is Sense.MINIMIZE else -1.0
 
+    # the incumbent bound lives in compiled space (minimize c @ x, constant
+    # excluded); a warm start is converted from the original objective space
+    warm_bound = math.inf
+    if options.warm_start_objective is not None:
+        warm_bound = sign * (float(options.warm_start_objective) - compiled.objective_constant)
+
+    def prune_tolerance(bound_value: float) -> float:
+        """Prune margin under the incumbent: at least 1e-9, at most the gap."""
+        if not math.isfinite(bound_value):
+            return 1e-9
+        return max(1e-9, options.mip_rel_gap * abs(bound_value))
+
     incumbent: Optional[np.ndarray] = None
-    incumbent_obj = math.inf
+    incumbent_obj = warm_bound
     counter = itertools.count()
     explored = 0
     exhausted = True
@@ -140,14 +160,14 @@ def solve_with_branch_and_bound(
             exhausted = False
             break
         node = heapq.heappop(heap)
-        if node.bound >= incumbent_obj - 1e-9:
+        if node.bound >= incumbent_obj - prune_tolerance(incumbent_obj):
             continue
         res = _solve_lp(compiled, node.lower, node.upper, split=split)
         explored += 1
         if res.status != 0 or res.x is None:
             continue  # infeasible or failed subproblem: prune
         lp_obj = float(res.fun)
-        if lp_obj >= incumbent_obj - 1e-9:
+        if lp_obj >= incumbent_obj - prune_tolerance(incumbent_obj):
             continue
         branch_var = _most_fractional(res.x, compiled.integrality)
         if branch_var is None:
@@ -183,12 +203,22 @@ def solve_with_branch_and_bound(
 
     elapsed = time.perf_counter() - start
     if incumbent is None:
-        status = SolutionStatus.INFEASIBLE if exhausted else SolutionStatus.NO_SOLUTION
+        if math.isfinite(warm_bound):
+            # not infeasible: the warm-start incumbent was simply not beaten
+            status = SolutionStatus.NO_SOLUTION
+            message = (
+                "branch-and-bound proved the warm start cannot be improved"
+                if exhausted
+                else "branch-and-bound hit its limits without improving the warm start"
+            )
+        else:
+            status = SolutionStatus.INFEASIBLE if exhausted else SolutionStatus.NO_SOLUTION
+            message = "branch-and-bound finished without an incumbent"
         return IlpSolution(
             status=status,
             solve_time=elapsed,
             node_count=explored,
-            message="branch-and-bound finished without an incumbent",
+            message=message,
         )
     objective = sign * incumbent_obj + compiled.objective_constant
     status = SolutionStatus.OPTIMAL if exhausted else SolutionStatus.FEASIBLE

@@ -27,19 +27,38 @@ class SolverOptions:
     Attributes
     ----------
     time_limit:
-        Wall-clock limit in seconds (``None`` for no limit).
+        Wall-clock limit in seconds (``None`` for no limit).  Both backends
+        treat ``None`` as unlimited and return the best incumbent (status
+        ``FEASIBLE``) or ``NO_SOLUTION`` when the limit expires.
     mip_rel_gap:
         Relative optimality gap at which the solver may stop.
     verbose:
         Print solver progress output.
     node_limit:
-        Branch-and-bound node limit (``None`` for no limit).
+        Branch-and-bound node limit (``None`` for no limit, ``0`` for no
+        branching at all).  Both backends count branch-and-bound nodes, but
+        HiGHS additionally runs presolve/root heuristics that may find (and
+        even prove) an incumbent before the first node, so a node-limited
+        scipy solve can still return ``OPTIMAL`` where the transparent
+        pure-Python solver reports ``NO_SOLUTION``.
+    warm_start_objective:
+        Objective value of a known incumbent (in the *original* objective
+        space, e.g. the greedy/ETF baseline cost), restricting the search to
+        solutions at least as good.  The scipy backend adds an objective
+        cutoff row: an equal-cost solution remains feasible (and may be
+        returned as ``OPTIMAL``), while an unbeatable cutoff yields
+        ``INFEASIBLE``.  The branch-and-bound backend uses it as the initial
+        incumbent bound: only strictly better solutions are found, and a
+        solve that cannot improve reports ``NO_SOLUTION``.  Either way a
+        caller holding the incumbent keeps it whenever the returned solution
+        is not strictly cheaper.
     """
 
     time_limit: Optional[float] = 30.0
     mip_rel_gap: float = 1e-4
     verbose: bool = False
     node_limit: Optional[int] = None
+    warm_start_objective: Optional[float] = None
 
 
 def solve_with_scipy(model: IlpModel, options: Optional[SolverOptions] = None) -> IlpSolution:
@@ -48,9 +67,23 @@ def solve_with_scipy(model: IlpModel, options: Optional[SolverOptions] = None) -
     compiled = model.compile()
     start = time.perf_counter()
 
-    constraints = None
+    constraints = []
     if compiled.A.shape[0] > 0:
-        constraints = optimize.LinearConstraint(compiled.A, compiled.con_lb, compiled.con_ub)
+        constraints.append(
+            optimize.LinearConstraint(compiled.A, compiled.con_lb, compiled.con_ub)
+        )
+    if options.warm_start_objective is not None:
+        # objective cutoff: only solutions at least as good as the known
+        # incumbent are feasible (compiled space is always a minimization)
+        sign = 1.0 if compiled.sense is Sense.MINIMIZE else -1.0
+        cutoff = sign * (float(options.warm_start_objective) - compiled.objective_constant)
+        tolerance = 1e-6 * max(1.0, abs(cutoff))
+        constraints.append(
+            optimize.LinearConstraint(
+                sparse.csr_matrix(compiled.c.reshape(1, -1)), -np.inf, cutoff + tolerance
+            )
+        )
+    constraints = constraints or None
     bounds = optimize.Bounds(compiled.var_lb, compiled.var_ub)
 
     milp_options = {

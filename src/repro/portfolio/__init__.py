@@ -1,13 +1,17 @@
 """Scheduler portfolio: evaluate several pipelines, keep the best per instance.
 
 Public API: :class:`Portfolio`, :class:`PortfolioResult`,
-:func:`run_member`, :data:`DEFAULT_MEMBERS`, :func:`available_members` and
+:func:`run_member`, :data:`DEFAULT_MEMBERS`, :data:`PRUNABLE_MEMBERS`,
+:func:`available_members`, :func:`is_pruned` and
 :func:`format_portfolio_table`.
 """
 
 from repro.portfolio.members import (
     DEFAULT_MEMBERS,
+    PRUNABLE_MEMBERS,
+    PRUNED_STATUS_PREFIX,
     available_members,
+    is_pruned,
     run_member,
     schedule_digest,
 )
@@ -15,7 +19,10 @@ from repro.portfolio.portfolio import Portfolio, PortfolioResult, format_portfol
 
 __all__ = [
     "DEFAULT_MEMBERS",
+    "PRUNABLE_MEMBERS",
+    "PRUNED_STATUS_PREFIX",
     "available_members",
+    "is_pruned",
     "run_member",
     "schedule_digest",
     "Portfolio",

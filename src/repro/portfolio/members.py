@@ -17,6 +17,20 @@ digest of the produced schedule, so callers can assert two runs produced
 *bit-identical* schedules, not merely equal costs.  Members that do not
 apply to an instance (e.g. ``dfs`` with ``P > 1``) report an infinite cost
 instead of failing the whole sweep.
+
+**Bound-aware pruning** (``prune_gap``): for the warm-started holistic
+``ilp`` member the two-stage baseline cost is compared against the
+:func:`repro.theory.bounds.instance_lower_bound` of the instance first.
+When ``baseline <= (1 + prune_gap) * bound`` the baseline is provably
+near-optimal and the (expensive) ILP solve is skipped entirely: the member
+reports the baseline cost, the skip reason lands in ``solver_status``
+(prefix ``"skipped:"``) and ``extra_costs`` carries ``lower_bound`` and
+``pruned = 1.0``.  At the default gap ``0.0`` a skip requires the baseline
+to *match* the bound, so pruning can never change the member's reported
+cost: the warm-started ILP would have returned the baseline anyway.  The
+``dac`` member is deliberately *not* pruned — its contract is to report the
+divide-and-conquer schedule as-is (which may differ from the baseline in
+either direction), so substituting the baseline would change results.
 """
 
 from __future__ import annotations
@@ -24,7 +38,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.dag.graph import ComputationalDag
 from repro.exceptions import ConfigurationError
@@ -34,12 +48,20 @@ from repro.experiments.runner import (
     run_divide_and_conquer_instance,
     run_instance,
 )
-from repro.core.two_stage import run_two_stage
+from repro.core.two_stage import baseline_schedule, run_two_stage
 from repro.model.schedule import MbspSchedule
 from repro.model.serialization import schedule_to_dict
+from repro.theory.bounds import instance_lower_bound
 
 #: The default portfolio evaluated by :class:`repro.portfolio.Portfolio`.
 DEFAULT_MEMBERS = ("bspg+clairvoyant", "cilk+lru", "ilp")
+
+#: Members supporting bound-aware pruning: only the warm-started holistic
+#: ILP, whose keep-the-baseline semantics make a skip provably cost-neutral.
+PRUNABLE_MEMBERS = ("ilp",)
+
+#: ``solver_status`` prefix of results whose ILP solve was pruned.
+PRUNED_STATUS_PREFIX = "skipped:"
 
 #: All first-stage/policy combinations exposed as two-stage members.
 TWO_STAGE_SCHEDULERS = ("bspg", "cilk", "etf", "dfs", "bsp-ilp")
@@ -63,11 +85,55 @@ def schedule_digest(schedule: MbspSchedule) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
-def run_member(dag: ComputationalDag, config: ExperimentConfig, member: str) -> InstanceResult:
-    """Evaluate one portfolio ``member`` on ``dag`` under ``config``."""
+def is_pruned(result: InstanceResult) -> bool:
+    """Whether ``result`` reports a bound-pruned (skipped) ILP solve."""
+    return result.solver_status.startswith(PRUNED_STATUS_PREFIX)
+
+
+def _run_ilp_member(
+    dag: ComputationalDag, config: ExperimentConfig, prune_gap: Optional[float]
+) -> InstanceResult:
+    """The holistic ILP member, with optional bound-aware pruning.
+
+    When pruning is enabled the instance and baseline materialized for the
+    bound check are reused by the ILP run, so the check itself costs only
+    the (cheap) lower-bound evaluation.
+    """
+    if prune_gap is None or prune_gap < 0:
+        return run_instance(dag, config)
+    instance = config.instance_for(dag)
+    bound = instance_lower_bound(instance, synchronous=config.synchronous)
+    base = baseline_schedule(instance, synchronous=config.synchronous, seed=config.seed)
+    if base.cost > (1.0 + prune_gap) * bound + 1e-9:
+        return run_instance(dag, config, instance=instance, baseline=base)
+    reason = (
+        f"{PRUNED_STATUS_PREFIX} baseline cost {base.cost:g} is within "
+        f"{prune_gap:.1%} of the lower bound {bound:g}; ILP solve pruned"
+    )
+    return InstanceResult(
+        instance_name=dag.name,
+        num_nodes=dag.num_nodes,
+        baseline_cost=base.cost,
+        ilp_cost=base.cost,
+        solver_status=reason,
+        extra_costs={"member_cost": base.cost, "lower_bound": bound, "pruned": 1.0},
+    )
+
+
+def run_member(
+    dag: ComputationalDag,
+    config: ExperimentConfig,
+    member: str,
+    prune_gap: Optional[float] = None,
+) -> InstanceResult:
+    """Evaluate one portfolio ``member`` on ``dag`` under ``config``.
+
+    ``prune_gap`` enables bound-aware pruning for the ``ilp`` member (see
+    the module docstring); ``None`` (the default) disables it.
+    """
     name = member.strip().lower()
     if name == "ilp":
-        result = run_instance(dag, config)
+        result = _run_ilp_member(dag, config, prune_gap)
         result.extra_costs["member_cost"] = result.ilp_cost
         return result
     if name in ("dac", "divide-and-conquer"):
@@ -82,6 +148,20 @@ def run_member(dag: ComputationalDag, config: ExperimentConfig, member: str) -> 
             f"(see repro.portfolio.available_members())"
         )
     instance = config.instance_for(dag)
+    bsp_ilp_config = None
+    if scheduler in ("bsp-ilp", "bsp_ilp", "ilp"):
+        # the first-stage ILP must honour the configured backend and budgets:
+        # the engine's job hash covers them, so solving with anything else
+        # would poison backend-comparison sweeps through the result cache
+        from repro.bsp.ilp import BspIlpConfig
+        from repro.ilp import SolverOptions
+
+        bsp_ilp_config = BspIlpConfig(
+            solver_options=SolverOptions(
+                time_limit=config.ilp_time_limit, node_limit=config.ilp_node_limit
+            ),
+            backend=config.ilp_backend,
+        )
     try:
         two_stage = run_two_stage(
             instance,
@@ -89,6 +169,7 @@ def run_member(dag: ComputationalDag, config: ExperimentConfig, member: str) -> 
             policy=policy or None,
             synchronous=config.synchronous,
             seed=config.seed,
+            bsp_ilp_config=bsp_ilp_config,
         )
     except ConfigurationError as exc:
         # e.g. the DFS first stage on a multi-processor instance: the member

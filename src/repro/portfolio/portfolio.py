@@ -15,6 +15,19 @@ engine — and report, per instance, the member achieving the lowest MBSP cost.
 All engine features apply: ``workers=N`` parallelises over processes,
 ``cache_dir`` makes repeated sweeps free, and ``results_path``/``resume``
 stream and resume long sweeps.
+
+Two knobs make the expensive members cheaper or avoidable:
+
+* ``config.ilp_backend`` selects the ILP solver backend per job
+  (``scipy``/``bnb``/``auto``, see :mod:`repro.ilp.backends`);
+* ``prune_gap`` enables *bound-aware pruning*: before the warm-started
+  ``ilp`` member is solved, its baseline cost is compared against the
+  instance's :func:`~repro.theory.bounds.instance_lower_bound`, and the
+  solve is skipped (reporting the baseline cost plus a ``skipped:`` status)
+  when the baseline is provably within the gap of optimal.  The default gap
+  ``0.0`` only skips *provably optimal* baselines and therefore never
+  changes the portfolio's best costs; ``prune_gap=None`` disables pruning
+  entirely.  (``dac`` is never pruned: it reports its schedule as-is.)
 """
 
 from __future__ import annotations
@@ -27,7 +40,12 @@ from repro.dag.graph import ComputationalDag
 from repro.exceptions import ConfigurationError
 from repro.experiments.parallel import ExperimentEngine, ExperimentJob
 from repro.experiments.runner import ExperimentConfig, InstanceResult
-from repro.portfolio.members import DEFAULT_MEMBERS, available_members
+from repro.portfolio.members import (
+    DEFAULT_MEMBERS,
+    PRUNABLE_MEMBERS,
+    PRUNED_STATUS_PREFIX,
+    available_members,
+)
 
 
 @dataclass
@@ -51,6 +69,20 @@ class PortfolioResult:
         """Members from best (cheapest) to worst; ties keep portfolio order."""
         return sorted(self.member_costs, key=lambda m: self.member_costs[m])
 
+    @property
+    def pruned_members(self) -> List[str]:
+        """Members whose ILP solve was skipped by bound-aware pruning."""
+        return [
+            member
+            for member, status in self.member_status.items()
+            if status.startswith(PRUNED_STATUS_PREFIX)
+        ]
+
+    @property
+    def num_pruned(self) -> int:
+        """Number of ILP solves skipped on this instance."""
+        return len(self.pruned_members)
+
 
 class Portfolio:
     """Evaluates a set of scheduler members and picks the best per instance."""
@@ -62,12 +94,17 @@ class Portfolio:
         cache_dir=None,
         results_path=None,
         resume: bool = False,
+        prune_gap: Optional[float] = 0.0,
     ) -> None:
         self.config = config or ExperimentConfig(name="portfolio")
         self.workers = workers
         self.cache_dir = cache_dir
         self.results_path = results_path
         self.resume = resume
+        # bound-aware pruning gap for the ILP-backed members; the default 0.0
+        # skips only provably optimal baselines (cost-neutral by construction),
+        # None disables pruning
+        self.prune_gap = prune_gap
 
     def run(
         self,
@@ -101,7 +138,13 @@ class Portfolio:
             )
         dags = list(dags)
         jobs = [
-            ExperimentJob.make("portfolio", dag, self.config, member=member)
+            ExperimentJob.make("portfolio", dag, self.config, member=member, **(
+                # only ILP-backed members understand pruning; keeping the
+                # parameter off the other jobs keeps their cache keys stable
+                {"prune_gap": self.prune_gap}
+                if self.prune_gap is not None and member in PRUNABLE_MEMBERS
+                else {}
+            ))
             for dag in dags
             for member in members
         ]
@@ -123,7 +166,11 @@ class Portfolio:
 
 
 def format_portfolio_table(results: Sequence[PortfolioResult]) -> str:
-    """Fixed-width text rendering of a portfolio run (one row per instance)."""
+    """Fixed-width text rendering of a portfolio run (one row per instance).
+
+    Costs of members whose ILP solve was skipped by bound-aware pruning are
+    marked with ``*`` and summarised in a footer line.
+    """
     members: List[str] = []
     for row in results:
         for member in row.member_costs:
@@ -134,11 +181,24 @@ def format_portfolio_table(results: Sequence[PortfolioResult]) -> str:
         header += f" {member:>18s}"
     header += f"  {'winner':<18s}"
     lines = [header, "-" * len(header)]
+    total_pruned = 0
     for row in results:
         line = f"{row.instance_name:<20s} {row.num_nodes:>5d}"
+        pruned = set(row.pruned_members)
+        total_pruned += len(pruned)
         for member in members:
             cost = row.member_costs.get(member, math.inf)
-            line += f" {cost:>18.1f}" if math.isfinite(cost) else f" {'-':>18s}"
+            if not math.isfinite(cost):
+                line += f" {'-':>18s}"
+            elif member in pruned:
+                line += f" {cost:>17.1f}*"
+            else:
+                line += f" {cost:>18.1f}"
         line += f"  {row.best_member if row.has_winner else '(none applicable)':<18s}"
         lines.append(line)
+    if total_pruned:
+        lines.append(
+            f"* {total_pruned} ILP solve(s) skipped by bound pruning "
+            f"(baseline provably near-optimal)"
+        )
     return "\n".join(lines)

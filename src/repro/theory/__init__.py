@@ -13,8 +13,10 @@ from repro.theory.constructions import (
 from repro.theory.bounds import (
     asynchronous_lower_bound,
     compute_lower_bound,
+    instance_lower_bound,
     io_lower_bound,
     lower_bound_report,
+    minimum_supersteps,
     synchronous_lower_bound,
 )
 
@@ -29,7 +31,9 @@ __all__ = [
     "zipper_gadget",
     "asynchronous_lower_bound",
     "compute_lower_bound",
+    "instance_lower_bound",
     "io_lower_bound",
     "lower_bound_report",
+    "minimum_supersteps",
     "synchronous_lower_bound",
 ]

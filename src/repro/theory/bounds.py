@@ -32,27 +32,42 @@ def io_lower_bound(instance: MbspInstance) -> float:
     """I/O lower bound: inputs must be loaded and outputs saved at least once.
 
     Every source value is needed by at least one processor and only exists in
-    slow memory initially, and every sink value must be written back, each at
-    cost ``g * mu``.  (Sharper red-blue pebbling bounds exist for specific
-    DAGs; this generic bound suffices for validity checks.)
+    slow memory initially, and every *computed* sink value must be written
+    back, each at cost ``g * mu`` (a sink that is itself a source already
+    lives in slow memory and needs no save).  (Sharper red-blue pebbling
+    bounds exist for specific DAGs; this generic bound suffices for validity
+    checks.)
     """
     dag = instance.dag
     g = instance.g
     loads = sum(dag.mu(v) for v in dag.sources() if dag.children(v))
-    saves = sum(dag.mu(v) for v in dag.sinks())
+    saves = sum(dag.mu(v) for v in dag.sinks() if not dag.is_source(v))
     return g * (loads + saves)
+
+
+def minimum_supersteps(instance: MbspInstance) -> int:
+    """Lower bound on the number of (non-empty) supersteps of any schedule.
+
+    Loads land in cache only at the *end* of a superstep (the load phase
+    follows the compute phase), and caches start empty, so computing any
+    node — some computable node always has only source parents — requires a
+    load in a strictly earlier superstep: at least two supersteps.  A DAG
+    with no computable nodes needs none.
+    """
+    dag = instance.dag
+    return 2 if any(not dag.is_source(v) for v in dag.nodes) else 0
 
 
 def synchronous_lower_bound(instance: MbspInstance) -> float:
     """Combined lower bound on the synchronous cost of any valid schedule.
 
     The compute and I/O terms of the synchronous cost are additive across
-    supersteps and each is individually bounded from below; at least one
-    superstep is needed, contributing one ``L``.
+    supersteps and each is individually bounded from below; every required
+    superstep (see :func:`minimum_supersteps`) contributes one ``L``.
     """
     return compute_lower_bound(instance) + io_lower_bound(instance) / max(
         instance.num_processors, 1
-    ) + instance.L
+    ) + instance.L * minimum_supersteps(instance)
 
 
 def asynchronous_lower_bound(instance: MbspInstance) -> float:
@@ -60,6 +75,18 @@ def asynchronous_lower_bound(instance: MbspInstance) -> float:
     dag = instance.dag
     per_processor_io = io_lower_bound(instance) / max(instance.num_processors, 1)
     return max(compute_lower_bound(instance), per_processor_io)
+
+
+def instance_lower_bound(instance: MbspInstance, synchronous: bool = True) -> float:
+    """The lower bound matching the cost model used (sync or async).
+
+    This is the bound the portfolio's bound-aware pruning compares baseline
+    costs against: a baseline within the configured gap of this value is
+    provably near-optimal and the ILP solve can be skipped.
+    """
+    if synchronous:
+        return synchronous_lower_bound(instance)
+    return asynchronous_lower_bound(instance)
 
 
 def lower_bound_report(instance: MbspInstance) -> Dict[str, float]:

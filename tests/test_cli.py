@@ -47,6 +47,25 @@ class TestParser:
         assert args.members == "bspg+clairvoyant,ilp"
         assert args.limit == 3
         assert args.workers == 2
+        assert args.backend is None
+        assert args.prune_gap == 0.0
+        assert args.no_prune is False
+
+    def test_backend_arguments(self):
+        for command in (["schedule"], ["experiment"], ["portfolio"]):
+            args = cli.build_parser().parse_args(command + ["--backend", "auto"])
+            assert args.backend == "auto"
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["portfolio", "--backend", "gurobi"])
+
+    def test_prune_arguments(self):
+        args = cli.build_parser().parse_args([
+            "portfolio", "--prune-gap", "0.25", "--no-prune",
+        ])
+        assert args.prune_gap == 0.25
+        assert args.no_prune is True
 
 
 class TestScheduleCommand:
@@ -142,3 +161,89 @@ class TestPortfolioCommand:
     def test_portfolio_rejects_unknown_member(self):
         with pytest.raises(Exception):
             cli.main(["portfolio", "--members", "quantum", "--limit", "1"])
+
+    def test_portfolio_reports_backend_and_pruning(self, capsys):
+        exit_code = cli.main([
+            "portfolio", "--members", "bspg+clairvoyant,cilk+lru",
+            "--limit", "1", "--time-limit", "0.5", "--backend", "auto",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "ilp backend: auto" in out
+        assert "bound pruning:" in out
+
+    def test_portfolio_no_prune_flag(self, capsys):
+        exit_code = cli.main([
+            "portfolio", "--members", "bspg+clairvoyant",
+            "--limit", "1", "--time-limit", "0.5", "--no-prune",
+        ])
+        assert exit_code == 0
+        assert "bound pruning: disabled" in capsys.readouterr().out
+
+
+class TestBackendPlumbing:
+    def test_env_backend_threads_into_experiment_config(self, monkeypatch):
+        from repro.experiments.runner import ExperimentConfig
+        from repro.ilp import ENV_BACKEND
+
+        monkeypatch.setenv(ENV_BACKEND, "bnb")
+        config = ExperimentConfig()
+        assert config.ilp_backend == "bnb"
+        assert config.ilp_config().backend == "bnb"
+
+    def test_unknown_env_backend_warns_and_falls_back(self, monkeypatch):
+        from repro.experiments.runner import ExperimentConfig
+        from repro.ilp import ENV_BACKEND
+
+        monkeypatch.setenv(ENV_BACKEND, "cplex")
+        with pytest.warns(UserWarning, match="unknown ILP backend 'cplex'"):
+            config = ExperimentConfig()
+        assert config.ilp_backend == "scipy"
+
+    def test_cli_backend_overrides_env(self, monkeypatch, capsys):
+        from repro.ilp import ENV_BACKEND
+
+        monkeypatch.setenv(ENV_BACKEND, "bnb")
+        exit_code = cli.main([
+            "portfolio", "--members", "bspg+clairvoyant",
+            "--limit", "1", "--time-limit", "0.5", "--backend", "scipy",
+        ])
+        assert exit_code == 0
+        assert "ilp backend: scipy" in capsys.readouterr().out
+
+    def test_schedule_command_accepts_backend(self, capsys):
+        exit_code = cli.main([
+            "schedule", "--generator", "spmv", "--size", "3", "--processors", "1",
+            "--method", "ilp", "--time-limit", "1", "--backend", "auto",
+        ])
+        assert exit_code == 0
+        assert "synchronous cost" in capsys.readouterr().out
+
+    def test_bsp_ilp_member_honours_configured_backend(self):
+        """The two-stage bsp-ilp member's first-stage ILP must solve with the
+        configured backend — its engine cache key claims it does."""
+        from repro.dag.generators import chain_dag
+        from repro.experiments.runner import ExperimentConfig
+        from repro.ilp import reset_solver_call_stats, solver_call_stats
+        from repro.portfolio import run_member
+
+        reset_solver_call_stats()
+        run_member(
+            chain_dag(4),
+            ExperimentConfig(ilp_backend="bnb", ilp_time_limit=5.0),
+            "bsp-ilp+lru",
+        )
+        assert solver_call_stats().by_backend == {"bnb": 1}
+        reset_solver_call_stats()
+
+    def test_backend_job_keys_differ(self):
+        """Jobs solved by different backends never collide in the cache."""
+        from repro.experiments.parallel import ExperimentJob
+        from repro.experiments.runner import ExperimentConfig
+
+        dag = spmv(3, seed=0)
+        scipy_job = ExperimentJob.make(
+            "instance", dag, ExperimentConfig(ilp_backend="scipy"))
+        bnb_job = ExperimentJob.make(
+            "instance", dag, ExperimentConfig(ilp_backend="bnb"))
+        assert scipy_job.key() != bnb_job.key()
