@@ -1,14 +1,23 @@
 """Command-line interface for the MBSP scheduling library.
 
-Four sub-commands are provided:
+Five sub-commands are provided:
 
 * ``schedule``   — generate (or load) a DAG, schedule it with a chosen method
   and print costs, validation results and an optional schedule rendering;
+* ``refine``     — schedule a DAG and post-optimize the schedule with the
+  local-search refinement engine, printing the before/after costs and the
+  accepted-move trace;
 * ``dataset``    — list the benchmark datasets (instance names, sizes, r0);
 * ``experiment`` — run one of the paper's table experiments and print the
   comparison against the paper's reference values;
 * ``portfolio``  — run a scheduler portfolio over a dataset and report the
   best pipeline per instance.
+
+Refinement threads through everything: ``schedule --refine`` post-optimizes
+the produced schedule, ``experiment --refine`` refines every per-instance
+result, and ``portfolio --refine`` adds a ``"<member>+refine"`` variant for
+every requested member (``--refine-budget`` bounds the move proposals per
+schedule, ``--refine-strategy hill|anneal`` picks the search strategy).
 
 The ``experiment`` and ``portfolio`` commands submit through the parallel
 experiment engine: ``--workers N`` fans instances out over N processes,
@@ -32,6 +41,8 @@ Examples
 ```
 python -m repro.cli schedule --generator spmv --size 5 --processors 2 --method ilp --time-limit 10
 python -m repro.cli schedule --dag-file my_graph.json --processors 4 --method baseline --render
+python -m repro.cli refine --generator spmv --size 6 --processors 4 --refine-budget 5000 --trace
+python -m repro.cli portfolio --refine --members bspg+clairvoyant,cilk+lru --limit 4
 python -m repro.cli dataset --which tiny --scale default
 python -m repro.cli experiment --table 1 --limit 3 --time-limit 5 --workers 4 --cache-dir .repro-cache
 python -m repro.cli experiment --table 1 --backend auto --workers 4
@@ -98,7 +109,19 @@ def _build_dag(args: argparse.Namespace) -> ComputationalDag:
     return dag
 
 
-def _cmd_schedule(args: argparse.Namespace) -> int:
+def _refine_config_from_args(args: argparse.Namespace, enabled: bool = True):
+    from repro.refine import RefineConfig
+
+    return RefineConfig(
+        enabled=enabled,
+        budget=args.refine_budget,
+        seed=getattr(args, "seed", 0),
+        strategy=args.refine_strategy,
+    )
+
+
+def _schedule_dag(args: argparse.Namespace):
+    """Shared by ``schedule`` and ``refine``: build DAG, instance, schedule."""
     dag = _build_dag(args)
     stats = dag_statistics(dag)
     print(f"DAG {dag.name}: {int(stats['nodes'])} nodes, {int(stats['edges'])} edges, "
@@ -118,9 +141,10 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     schedule = schedule_mbsp(instance, method=args.method, config=config,
                              synchronous=not args.asynchronous, seed=args.seed)
     validate_schedule(schedule, require_all_computed=False)
-    print(f"method: {args.method}   supersteps: {schedule.num_supersteps}")
-    print(f"synchronous cost : {synchronous_cost(schedule):.2f}")
-    print(f"asynchronous cost: {asynchronous_cost(schedule):.2f}")
+    return schedule
+
+
+def _finish_schedule_output(args: argparse.Namespace, schedule) -> int:
     if args.render:
         print()
         print(render_superstep_table(schedule))
@@ -132,6 +156,48 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         save_schedule(schedule, args.output)
         print(f"schedule written to {args.output}")
     return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    schedule = _schedule_dag(args)
+    print(f"method: {args.method}   supersteps: {schedule.num_supersteps}")
+    print(f"synchronous cost : {synchronous_cost(schedule):.2f}")
+    print(f"asynchronous cost: {asynchronous_cost(schedule):.2f}")
+    if args.refine:
+        from repro.refine import Refiner
+
+        result = Refiner(_refine_config_from_args(args)).refine(
+            schedule, synchronous=not args.asynchronous
+        )
+        schedule = result.schedule
+        print(result.summary())
+        print(f"refined synchronous cost : {synchronous_cost(schedule):.2f}")
+        print(f"refined asynchronous cost: {asynchronous_cost(schedule):.2f}")
+    return _finish_schedule_output(args, schedule)
+
+
+def _cmd_refine(args: argparse.Namespace) -> int:
+    from repro.refine import Refiner
+
+    schedule = _schedule_dag(args)
+    synchronous = not args.asynchronous
+    before = synchronous_cost(schedule) if synchronous else asynchronous_cost(schedule)
+    print(f"method: {args.method}   supersteps: {schedule.num_supersteps}   "
+          f"cost: {before:.2f}")
+    result = Refiner(_refine_config_from_args(args)).refine(
+        schedule, synchronous=synchronous
+    )
+    print(result.summary())
+    if args.trace:
+        for entry in result.trace:
+            print(f"  #{entry.proposal:<6d} {entry.move:<10s} "
+                  f"delta={entry.delta:+9.2f} cost={entry.cost:10.2f}")
+    schedule = result.schedule
+    validate_schedule(schedule, require_all_computed=False)
+    print(f"refined supersteps: {schedule.num_supersteps}")
+    print(f"refined synchronous cost : {synchronous_cost(schedule):.2f}")
+    print(f"refined asynchronous cost: {asynchronous_cost(schedule):.2f}")
+    return _finish_schedule_output(args, schedule)
 
 
 def _cmd_dataset(args: argparse.Namespace) -> int:
@@ -174,10 +240,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.tables import table1, table2, table4
 
     engine = _make_engine(args)
+    refine_kwargs = (
+        {"refine": _refine_config_from_args(args)} if args.refine else {}
+    )
     config = ExperimentConfig(
         ilp_time_limit=args.time_limit,
         ilp_node_limit=args.node_limit,
         **_backend_kwargs(args),
+        **refine_kwargs,
     )
     if args.table == 1:
         results = table1(config=config, limit=args.limit, engine=engine)
@@ -187,7 +257,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                          config=ExperimentConfig(cache_factor=5.0,
                                                  ilp_time_limit=args.time_limit,
                                                  ilp_node_limit=args.node_limit,
-                                                 **_backend_kwargs(args)),
+                                                 **_backend_kwargs(args),
+                                                 **refine_kwargs),
                          engine=engine)
         print(format_results_table(results, "Table 2", paper_reference.TABLE2))
     elif args.table == 4:
@@ -207,16 +278,33 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     from repro.experiments.runner import ExperimentConfig
     from repro.portfolio import DEFAULT_MEMBERS, Portfolio, format_portfolio_table
 
+    from repro.portfolio import REFINE_SUFFIX, is_refined_member
+
     members = [m.strip() for m in args.members.split(",") if m.strip()] \
         if args.members else list(DEFAULT_MEMBERS)
+    if args.refine:
+        members += [
+            member + REFINE_SUFFIX
+            for member in members
+            if not is_refined_member(member)
+        ]
     dags = (tiny_dataset(scale=args.scale, limit=args.limit) if args.which == "tiny"
             else small_dataset(scale=args.scale, limit=args.limit))
     engine = _make_engine(args)
+    # only thread the refine knobs into the config (and therefore into the
+    # engine's job hashes) when a refined member actually consumes them, so
+    # that runs without refined members keep cache keys independent of the
+    # knobs.  (With refined members present the knobs are part of every job
+    # hash by design — ExperimentConfig.refine is covered by the content
+    # hash so sweeps with different refinement settings never collide.)
+    uses_refine = any(is_refined_member(member) for member in members)
     config = ExperimentConfig(
         name="portfolio",
         num_processors=args.processors,
         ilp_time_limit=args.time_limit,
         ilp_node_limit=args.node_limit,
+        **({"refine": _refine_config_from_args(args, enabled=False)}
+           if uses_refine else {}),
         **_backend_kwargs(args),
     )
     prune_gap = None if args.no_prune else args.prune_gap
@@ -252,23 +340,59 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: REPRO_ILP_BACKEND or 'scipy'; 'auto' picks "
                             "per model by size/structure)")
 
+    def add_refine_arguments(p: argparse.ArgumentParser, with_switch: bool = True) -> None:
+        from repro.refine import RefineConfig
+
+        defaults = RefineConfig()
+        if with_switch:
+            p.add_argument("--refine", action="store_true",
+                           help="post-optimize schedules with the local-search "
+                                "refinement engine (repro.refine)")
+        p.add_argument("--refine-budget", type=int, default=defaults.budget,
+                       help="max move proposals per refined schedule "
+                            f"(default {defaults.budget})")
+        p.add_argument("--refine-strategy", choices=["hill", "anneal"],
+                       default=defaults.strategy,
+                       help="hill climbing (default) or simulated annealing")
+
+    def add_dag_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--generator", default="spmv",
+                       help=f"workload family ({sorted(GENERATORS)})")
+        p.add_argument("--size", type=int, default=5, help="generator size parameter")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--dag-file", default=None,
+                       help="load the DAG from a .json/.dag file instead")
+        p.add_argument("--processors", "-p", type=int, default=2)
+        p.add_argument("--cache-factor", type=float, default=3.0,
+                       help="cache size as a multiple of r0")
+        p.add_argument("--g", type=float, default=1.0)
+        p.add_argument("--latency", "-L", type=float, default=10.0)
+        p.add_argument("--time-limit", type=float, default=10.0)
+        add_backend_argument(p)
+        p.add_argument("--asynchronous", action="store_true",
+                       help="optimise the asynchronous cost")
+        p.add_argument("--render", action="store_true",
+                       help="print superstep table and Gantt chart")
+        p.add_argument("--output", default=None, help="write the schedule to a JSON file")
+
     sched = sub.add_parser("schedule", help="schedule one DAG")
-    sched.add_argument("--generator", default="spmv", help=f"workload family ({sorted(GENERATORS)})")
-    sched.add_argument("--size", type=int, default=5, help="generator size parameter")
-    sched.add_argument("--seed", type=int, default=0)
-    sched.add_argument("--dag-file", default=None, help="load the DAG from a .json/.dag file instead")
-    sched.add_argument("--processors", "-p", type=int, default=2)
-    sched.add_argument("--cache-factor", type=float, default=3.0, help="cache size as a multiple of r0")
-    sched.add_argument("--g", type=float, default=1.0)
-    sched.add_argument("--latency", "-L", type=float, default=10.0)
+    add_dag_arguments(sched)
     sched.add_argument("--method", default="baseline",
                        choices=["baseline", "practical", "ilp", "divide-and-conquer"])
-    sched.add_argument("--time-limit", type=float, default=10.0)
-    add_backend_argument(sched)
-    sched.add_argument("--asynchronous", action="store_true", help="optimise the asynchronous cost")
-    sched.add_argument("--render", action="store_true", help="print superstep table and Gantt chart")
-    sched.add_argument("--output", default=None, help="write the schedule to a JSON file")
+    add_refine_arguments(sched)
     sched.set_defaults(func=_cmd_schedule)
+
+    refine = sub.add_parser(
+        "refine", help="schedule one DAG and post-optimize it with local search"
+    )
+    add_dag_arguments(refine)
+    refine.add_argument("--method", default="baseline",
+                        choices=["baseline", "practical", "ilp", "divide-and-conquer"],
+                        help="pipeline producing the schedule to refine")
+    add_refine_arguments(refine, with_switch=False)
+    refine.add_argument("--trace", action="store_true",
+                        help="print every accepted move of the refinement")
+    refine.set_defaults(func=_cmd_refine)
 
     data = sub.add_parser("dataset", help="list the benchmark datasets")
     data.add_argument("--which", choices=["tiny", "small"], default="tiny")
@@ -296,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--time-limit", type=float, default=5.0)
     add_backend_argument(exp)
     add_engine_arguments(exp)
+    add_refine_arguments(exp)
     exp.set_defaults(func=_cmd_experiment)
 
     port = sub.add_parser("portfolio", help="run a scheduler portfolio over a dataset")
@@ -316,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     port.add_argument("--no-prune", action="store_true",
                       help="disable bound-aware ILP pruning entirely")
     add_engine_arguments(port)
+    add_refine_arguments(port)
     port.set_defaults(func=_cmd_portfolio)
     return parser
 

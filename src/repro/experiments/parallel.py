@@ -118,7 +118,23 @@ class ExperimentJob:
 
 
 def execute_job(job: ExperimentJob) -> InstanceResult:
-    """Run one job to completion (this is the function worker processes run)."""
+    """Run one job to completion (this is the function worker processes run).
+
+    The result carries per-job solver telemetry (``InstanceResult.
+    solver_stats``): the number of MILP solves dispatched through the backend
+    registry while the job ran, and the wall time spent inside the solvers,
+    per backend.  The delta is computed inside the executing process, so it
+    is correct both inline and under the process pool.
+    """
+    from repro.ilp.backends import solver_call_stats
+
+    before = solver_call_stats().snapshot()
+    result = _dispatch_job(job)
+    result.solver_stats = solver_call_stats().delta_since(before)
+    return result
+
+
+def _dispatch_job(job: ExperimentJob) -> InstanceResult:
     dag = job.dag()
     params = dict(job.params)
     if job.kind == "instance":

@@ -46,6 +46,7 @@ from repro.core.scheduler import MbspIlpScheduler
 from repro.core.two_stage import baseline_schedule, run_two_stage
 from repro.core.divide_conquer import DivideAndConquerScheduler
 from repro.core.acyclic_partition import PartitionConfig
+from repro.refine import RefineConfig, Refiner
 
 
 def _env_float(name: str, default: float) -> float:
@@ -102,6 +103,12 @@ class ExperimentConfig:
     ilp_backend: str = field(default_factory=default_backend)
     step_cap: Optional[int] = None
     seed: int = 0
+    # local-search refinement knobs; part of the engine job hash, so sweeps
+    # with different refinement settings never collide in the result cache.
+    # ``refine.enabled`` switches post-optimization on for the per-instance
+    # runners; the explicit "<member>+refine" portfolio members refine
+    # regardless (using these budget/seed/strategy knobs).
+    refine: RefineConfig = field(default_factory=RefineConfig)
 
     def instance_for(self, dag: ComputationalDag) -> MbspInstance:
         return make_instance(
@@ -142,6 +149,11 @@ class InstanceResult:
     solver_status: str = ""
     solve_time: float = 0.0
     extra_costs: Dict[str, float] = field(default_factory=dict)
+    #: per-job solver telemetry (``solver_calls`` / ``solver_time`` totals
+    #: plus per-backend breakdowns), attached by the experiment engine.
+    #: Excluded from :meth:`fingerprint`: call counts are deterministic but
+    #: the times are wall clock.
+    solver_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ratio(self) -> float:
@@ -160,17 +172,20 @@ class InstanceResult:
             "solver_status": self.solver_status,
             "solve_time": self.solve_time,
             "extra_costs": dict(self.extra_costs),
+            "solver_stats": dict(self.solver_stats),
         }
 
     def fingerprint(self) -> Dict[str, object]:
         """Deterministic part of the result: :meth:`to_dict` without timings.
 
         Two runs of the same job (serial vs. parallel, fresh vs. cached)
-        must produce equal fingerprints; ``solve_time`` is wall-clock
-        diagnostics and is excluded.
+        must produce equal fingerprints; ``solve_time`` and the
+        ``solver_stats`` telemetry are wall-clock diagnostics and are
+        excluded.
         """
         data = self.to_dict()
         data.pop("solve_time", None)
+        data.pop("solver_stats", None)
         return data
 
     @classmethod
@@ -184,6 +199,7 @@ class InstanceResult:
             solver_status=str(data.get("solver_status", "")),
             solve_time=float(data.get("solve_time", 0.0)),
             extra_costs={k: float(v) for k, v in dict(data.get("extra_costs", {})).items()},
+            solver_stats={k: float(v) for k, v in dict(data.get("solver_stats", {})).items()},
         )
 
 
@@ -215,13 +231,22 @@ def run_instance(
     )
     scheduler = MbspIlpScheduler(config.ilp_config())
     result = scheduler.schedule(instance, baseline=base)
+    ilp_cost = result.best_cost
+    extra: Dict[str, float] = {}
+    if config.refine.enabled:
+        refined = Refiner(config.refine).refine(
+            result.best_schedule, synchronous=config.synchronous
+        )
+        extra = refined.telemetry(result.best_cost)
+        ilp_cost = min(ilp_cost, refined.final_cost)
     return InstanceResult(
         instance_name=dag.name,
         num_nodes=dag.num_nodes,
         baseline_cost=base.cost,
-        ilp_cost=result.best_cost,
+        ilp_cost=ilp_cost,
         solver_status=result.solver_status,
         solve_time=result.solve_time,
+        extra_costs=extra,
     )
 
 
@@ -312,6 +337,35 @@ def run_instance_with_baselines(dag: ComputationalDag, config: ExperimentConfig)
     )
 
 
+def run_divide_and_conquer(
+    dag: ComputationalDag,
+    config: ExperimentConfig,
+    max_part_size: int = 22,
+    partition_time_limit: float = 3.0,
+    instance: Optional[MbspInstance] = None,
+):
+    """Run the divide-and-conquer scheduler; returns its full result object.
+
+    Used by :func:`run_divide_and_conquer_instance` (which reduces it to an
+    :class:`InstanceResult`) and by the refined ``dac+refine`` portfolio
+    member, which needs the actual schedule to post-optimize.  A caller that
+    already materialized the ``instance`` (e.g. for a bound check) can pass
+    it to avoid rebuilding.
+    """
+    if instance is None:
+        instance = config.instance_for(dag)
+    base = baseline_schedule(instance, synchronous=config.synchronous, seed=config.seed)
+    scheduler = DivideAndConquerScheduler(
+        ilp_config=config.ilp_config(),
+        partition_config=PartitionConfig(
+            max_part_size=max_part_size,
+            solver_options=SolverOptions(time_limit=partition_time_limit),
+            backend=config.ilp_backend,
+        ),
+    )
+    return scheduler.schedule(instance, baseline=base)
+
+
 def run_divide_and_conquer_instance(
     dag: ComputationalDag,
     config: ExperimentConfig,
@@ -323,24 +377,29 @@ def run_divide_and_conquer_instance(
     Unlike the warm-started full ILP, the divide-and-conquer schedule is
     reported as-is (it can be worse than the baseline, as in the paper).
     """
-    instance = config.instance_for(dag)
-    base = baseline_schedule(instance, synchronous=config.synchronous, seed=config.seed)
-    scheduler = DivideAndConquerScheduler(
-        ilp_config=config.ilp_config(),
-        partition_config=PartitionConfig(
-            max_part_size=max_part_size,
-            solver_options=SolverOptions(time_limit=partition_time_limit),
-            backend=config.ilp_backend,
-        ),
+    result = run_divide_and_conquer(
+        dag,
+        config,
+        max_part_size=max_part_size,
+        partition_time_limit=partition_time_limit,
     )
-    result = scheduler.schedule(instance, baseline=base)
+    dac_cost = result.dac_cost
+    extra: Dict[str, float] = {"parts": float(result.partition.num_parts)}
+    if config.refine.enabled:
+        # opt-in post-optimization (``--refine``): the refined cost replaces
+        # the as-is divide-and-conquer cost, never making it worse
+        refined = Refiner(config.refine).refine(
+            result.dac_schedule, synchronous=config.synchronous
+        )
+        extra.update(refined.telemetry(dac_cost))
+        dac_cost = min(dac_cost, refined.final_cost)
     return InstanceResult(
         instance_name=dag.name,
         num_nodes=dag.num_nodes,
-        baseline_cost=base.cost,
-        ilp_cost=result.dac_cost,
+        baseline_cost=result.baseline.cost,
+        ilp_cost=dac_cost,
         solver_status="divide-and-conquer",
-        extra_costs={"parts": float(result.partition.num_parts)},
+        extra_costs=extra,
     )
 
 

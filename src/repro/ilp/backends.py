@@ -34,6 +34,7 @@ engine count in their worker processes, not in the parent.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
@@ -207,18 +208,58 @@ def resolve_backend_name(name: Optional[str]) -> str:
 # ----------------------------------------------------------------------
 @dataclass
 class SolverCallStats:
-    """Per-process tally of dispatched solver calls, by backend name."""
+    """Per-process tally of dispatched solver calls and times, by backend name."""
 
     total: int = 0
     by_backend: Dict[str, int] = field(default_factory=dict)
+    time_total: float = 0.0
+    time_by_backend: Dict[str, float] = field(default_factory=dict)
 
     def record(self, name: str) -> None:
         self.total += 1
         self.by_backend[name] = self.by_backend.get(name, 0) + 1
 
+    def record_time(self, name: str, elapsed: float) -> None:
+        self.time_total += elapsed
+        self.time_by_backend[name] = self.time_by_backend.get(name, 0.0) + elapsed
+
+    def snapshot(self) -> "SolverCallStats":
+        """An independent copy (for before/after deltas around a job)."""
+        return SolverCallStats(
+            total=self.total,
+            by_backend=dict(self.by_backend),
+            time_total=self.time_total,
+            time_by_backend=dict(self.time_by_backend),
+        )
+
+    def delta_since(self, before: "SolverCallStats") -> Dict[str, float]:
+        """Flat ``{metric: value}`` dict of the calls/times since ``before``.
+
+        Keys: ``solver_calls`` / ``solver_time`` totals plus
+        ``solver_calls[<backend>]`` / ``solver_time[<backend>]`` per backend
+        actually dispatched in between.  This is the per-job record the
+        experiment engine attaches to results (JSONL rows included), so
+        sweeps can report solve counts and times per job.
+        """
+        out: Dict[str, float] = {
+            "solver_calls": float(self.total - before.total),
+            "solver_time": self.time_total - before.time_total,
+        }
+        for name, count in self.by_backend.items():
+            diff = count - before.by_backend.get(name, 0)
+            if diff:
+                out[f"solver_calls[{name}]"] = float(diff)
+        for name, elapsed in self.time_by_backend.items():
+            diff = elapsed - before.time_by_backend.get(name, 0.0)
+            if diff > 0:
+                out[f"solver_time[{name}]"] = diff
+        return out
+
     def reset(self) -> None:
         self.total = 0
         self.by_backend.clear()
+        self.time_total = 0.0
+        self.time_by_backend.clear()
 
 
 _CALL_STATS = SolverCallStats()
@@ -249,7 +290,11 @@ def solve_model(
     """
     impl = get_backend(resolve_backend_name(backend))
     _CALL_STATS.record(impl.name)
-    return impl.solve(model, options)
+    start = time.perf_counter()
+    try:
+        return impl.solve(model, options)
+    finally:
+        _CALL_STATS.record_time(impl.name, time.perf_counter() - start)
 
 
 register_backend(

@@ -115,6 +115,13 @@ def solve_with_branch_and_bound(
     without finding one reports ``NO_SOLUTION`` (the warm start stands).
     Nodes whose LP bound is within ``mip_rel_gap`` of the incumbent are
     pruned, mirroring the gap-based early stop of the scipy backend.
+
+    A ``warm_start_solution`` (a full, feasible variable assignment) becomes
+    the *initial incumbent*: the search can only improve on it, and when the
+    tree is exhausted without an improvement the warm solution itself is
+    returned with status ``OPTIMAL`` — a true solution warm start, unlike
+    the objective-only bound.  Infeasible warm solutions are ignored (noted
+    in the result message).
     """
     options = options or SolverOptions()
     compiled = model.compile()
@@ -130,14 +137,41 @@ def solve_with_branch_and_bound(
     if options.warm_start_objective is not None:
         warm_bound = sign * (float(options.warm_start_objective) - compiled.objective_constant)
 
+    # a true warm-start *solution* becomes the initial incumbent (after a
+    # feasibility check): the search can only improve on it, and an exhausted
+    # tree returns it as proven optimal instead of NO_SOLUTION
+    warm_incumbent: Optional[np.ndarray] = None
+    warm_incumbent_obj = math.inf
+    warm_note = ""
+    if options.warm_start_solution is not None:
+        candidate = np.asarray(options.warm_start_solution, dtype=float)
+        if candidate.shape != (compiled.c.shape[0],):
+            raise ValueError(
+                f"warm_start_solution has {candidate.shape} values, model has "
+                f"{compiled.c.shape[0]} variables"
+            )
+        if compiled.is_feasible(candidate):
+            warm_incumbent = candidate.copy()
+            int_idx = np.nonzero(compiled.integrality)[0]
+            warm_incumbent[int_idx] = np.round(warm_incumbent[int_idx])
+            warm_incumbent_obj = float(compiled.c @ warm_incumbent)
+        else:
+            warm_note = " (warm-start solution rejected: infeasible)"
+
     def prune_tolerance(bound_value: float) -> float:
         """Prune margin under the incumbent: at least 1e-9, at most the gap."""
         if not math.isfinite(bound_value):
             return 1e-9
         return max(1e-9, options.mip_rel_gap * abs(bound_value))
 
-    incumbent: Optional[np.ndarray] = None
-    incumbent_obj = warm_bound
+    # ``incumbent``/``incumbent_obj`` always describe a real solution (or
+    # none); ``cutoff_obj`` is the pruning threshold, which may be tighter
+    # than the incumbent when an explicit warm_start_objective says a better
+    # solution is known elsewhere (e.g. the scheduler injects the two-stage
+    # baseline cost while the caller supplied a weaker warm solution)
+    incumbent: Optional[np.ndarray] = warm_incumbent
+    incumbent_obj = warm_incumbent_obj
+    cutoff_obj = min(warm_bound, warm_incumbent_obj)
     counter = itertools.count()
     explored = 0
     exhausted = True
@@ -160,14 +194,14 @@ def solve_with_branch_and_bound(
             exhausted = False
             break
         node = heapq.heappop(heap)
-        if node.bound >= incumbent_obj - prune_tolerance(incumbent_obj):
+        if node.bound >= cutoff_obj - prune_tolerance(cutoff_obj):
             continue
         res = _solve_lp(compiled, node.lower, node.upper, split=split)
         explored += 1
         if res.status != 0 or res.x is None:
             continue  # infeasible or failed subproblem: prune
         lp_obj = float(res.fun)
-        if lp_obj >= incumbent_obj - prune_tolerance(incumbent_obj):
+        if lp_obj >= cutoff_obj - prune_tolerance(cutoff_obj):
             continue
         branch_var = _most_fractional(res.x, compiled.integrality)
         if branch_var is None:
@@ -175,9 +209,10 @@ def solve_with_branch_and_bound(
             values = res.x.copy()
             int_idx = np.nonzero(compiled.integrality)[0]
             values[int_idx] = np.round(values[int_idx])
-            if lp_obj < incumbent_obj:
+            if lp_obj < cutoff_obj:
                 incumbent = values
                 incumbent_obj = lp_obj
+                cutoff_obj = lp_obj
             continue
         value = res.x[branch_var]
         # branch down
@@ -218,15 +253,26 @@ def solve_with_branch_and_bound(
             status=status,
             solve_time=elapsed,
             node_count=explored,
-            message=message,
+            message=message + warm_note,
         )
     objective = sign * incumbent_obj + compiled.objective_constant
-    status = SolutionStatus.OPTIMAL if exhausted else SolutionStatus.FEASIBLE
+    # an exhausted tree proves nothing cheaper than ``cutoff_obj`` exists;
+    # that proves the incumbent optimal only when the explicit warm bound was
+    # not tighter than the incumbent's own objective
+    proven = exhausted and incumbent_obj <= cutoff_obj + prune_tolerance(cutoff_obj)
+    status = SolutionStatus.OPTIMAL if proven else SolutionStatus.FEASIBLE
+    message = "branch-and-bound"
+    if incumbent is warm_incumbent:
+        message += (
+            " (warm-start solution proven optimal)"
+            if proven
+            else " (warm-start solution kept)"
+        )
     return IlpSolution(
         status=status,
         objective=objective,
         values=incumbent,
         solve_time=elapsed,
         node_count=explored,
-        message="branch-and-bound",
+        message=message + warm_note,
     )

@@ -40,6 +40,38 @@ class CompiledModel:
     objective_constant: float
     sense: Sense
 
+    @property
+    def num_variables(self) -> int:
+        return int(self.c.shape[0])
+
+    def objective_value(self, values: np.ndarray) -> float:
+        """Objective of a variable assignment in the *original* model space."""
+        sign = 1.0 if self.sense is Sense.MINIMIZE else -1.0
+        return sign * float(self.c @ np.asarray(values, dtype=float)) + self.objective_constant
+
+    def is_feasible(self, values: Sequence[float], tol: float = 1e-6) -> bool:
+        """Whether ``values`` satisfies bounds, integrality and constraints.
+
+        Used to vet externally supplied warm-start solutions before a solver
+        backend installs them as the initial incumbent.  Violations within
+        ``tol`` (absolute) are accepted.
+        """
+        x = np.asarray(values, dtype=float)
+        if x.shape != (self.num_variables,):
+            return False
+        if np.any(x < self.var_lb - tol) or np.any(x > self.var_ub + tol):
+            return False
+        integers = self.integrality.astype(bool)
+        if integers.any() and np.any(np.abs(x[integers] - np.round(x[integers])) > tol):
+            return False
+        if self.A.shape[0]:
+            row_values = np.asarray(self.A @ x).ravel()
+            lb_ok = np.where(np.isfinite(self.con_lb), row_values >= self.con_lb - tol, True)
+            ub_ok = np.where(np.isfinite(self.con_ub), row_values <= self.con_ub + tol, True)
+            if not (np.all(lb_ok) and np.all(ub_ok)):
+                return False
+        return True
+
 
 class IlpModel:
     """A mixed-integer linear program under construction.

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy import optimize, sparse
@@ -52,6 +52,22 @@ class SolverOptions:
         solve that cannot improve reports ``NO_SOLUTION``.  Either way a
         caller holding the incumbent keeps it whenever the returned solution
         is not strictly cheaper.
+    warm_start_solution:
+        A full variable assignment of a known feasible solution (model
+        variable order).  The branch-and-bound backend verifies it against
+        the compiled model and installs it as the *initial incumbent*: the
+        solve can only improve on it, and exhausting the tree returns the
+        warm solution itself (status ``OPTIMAL``) instead of
+        ``NO_SOLUTION``.  The scipy backend cannot hand HiGHS a starting
+        point through ``scipy.optimize.milp``; it derives the solution's
+        objective value and applies it as the cutoff row (as if
+        ``warm_start_objective`` had been passed).  An infeasible solution
+        is ignored (recorded in the result message), never an error; a
+        wrong-length one raises ``ValueError`` in both backends.  When both
+        warm-start fields are given, the tighter of the two prunes the
+        search while the solution remains the fallback incumbent (the
+        branch-and-bound backend reports ``FEASIBLE`` instead of claiming
+        optimality when a tighter external bound was in play).
     """
 
     time_limit: Optional[float] = 30.0
@@ -59,6 +75,7 @@ class SolverOptions:
     verbose: bool = False
     node_limit: Optional[int] = None
     warm_start_objective: Optional[float] = None
+    warm_start_solution: Optional[Sequence[float]] = None
 
 
 def solve_with_scipy(model: IlpModel, options: Optional[SolverOptions] = None) -> IlpSolution:
@@ -72,11 +89,37 @@ def solve_with_scipy(model: IlpModel, options: Optional[SolverOptions] = None) -
         constraints.append(
             optimize.LinearConstraint(compiled.A, compiled.con_lb, compiled.con_ub)
         )
+    sign = 1.0 if compiled.sense is Sense.MINIMIZE else -1.0
+    # cutoff candidates in compiled (minimization) space: the explicit
+    # objective and/or a feasible warm-start solution's objective — the
+    # tighter one prunes, matching the branch-and-bound backend
+    cutoffs = []
     if options.warm_start_objective is not None:
+        cutoffs.append(
+            sign * (float(options.warm_start_objective) - compiled.objective_constant)
+        )
+    warm_note = ""
+    if options.warm_start_solution is not None:
+        # scipy.optimize.milp cannot hand HiGHS a starting point; the best we
+        # can do with a warm-start *solution* is derive its objective value
+        # and apply it as the cutoff row below (infeasible solutions are
+        # noted and ignored, matching the branch-and-bound backend)
+        candidate = np.asarray(options.warm_start_solution, dtype=float)
+        if candidate.shape != (compiled.c.shape[0],):
+            raise ValueError(
+                f"warm_start_solution has {candidate.shape} values, model has "
+                f"{compiled.c.shape[0]} variables"
+            )
+        if compiled.is_feasible(candidate):
+            cutoffs.append(
+                sign * (compiled.objective_value(candidate) - compiled.objective_constant)
+            )
+        else:
+            warm_note = " (warm-start solution rejected: infeasible)"
+    if cutoffs:
         # objective cutoff: only solutions at least as good as the known
         # incumbent are feasible (compiled space is always a minimization)
-        sign = 1.0 if compiled.sense is Sense.MINIMIZE else -1.0
-        cutoff = sign * (float(options.warm_start_objective) - compiled.objective_constant)
+        cutoff = min(cutoffs)
         tolerance = 1e-6 * max(1.0, abs(cutoff))
         constraints.append(
             optimize.LinearConstraint(
@@ -135,6 +178,6 @@ def solve_with_scipy(model: IlpModel, options: Optional[SolverOptions] = None) -
         values=values,
         mip_gap=None if mip_gap is None else float(mip_gap),
         solve_time=elapsed,
-        message=str(getattr(result, "message", "")),
+        message=str(getattr(result, "message", "")) + warm_note,
         node_count=node_count,
     )

@@ -195,6 +195,31 @@ class PebblingState:
             raise InvalidScheduleError(f"unknown operation type {op.op_type!r}")
 
     # ------------------------------------------------------------------
+    def copy(self) -> "PebblingState":
+        """An independent snapshot of this configuration (same DAG object).
+
+        Used by the refinement engine to checkpoint the replay state before
+        every superstep so that a local schedule edit only needs a suffix
+        replay instead of a full revalidation.
+        """
+        new = PebblingState.__new__(PebblingState)
+        new.dag = self.dag
+        new.num_processors = self.num_processors
+        new.cache_size = self.cache_size
+        new.red = [set(pebbles) for pebbles in self.red]
+        new.red_usage = list(self.red_usage)
+        new.blue = set(self.blue)
+        return new
+
+    def same_configuration(self, other: "PebblingState") -> bool:
+        """Whether two states hold exactly the same red and blue pebbles."""
+        return (
+            self.num_processors == other.num_processors
+            and self.blue == other.blue
+            and self.red == other.red
+        )
+
+    # ------------------------------------------------------------------
     def is_terminal(self) -> bool:
         """Whether all sink nodes carry a blue pebble (terminal configuration)."""
         return all(v in self.blue for v in self.dag.sinks())

@@ -34,6 +34,8 @@ class ValidationReport:
     recomputed_nodes: int = 0
     max_cache_used: float = 0.0
     computed_nodes: Set[NodeId] = field(default_factory=set)
+    #: per-node compute event counts (recomputation diagnostics)
+    compute_events: Dict[NodeId, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -45,6 +47,72 @@ class ValidationReport:
             "recomputed_nodes": self.recomputed_nodes,
             "max_cache_used": self.max_cache_used,
         }
+
+
+def replay_superstep(
+    state: PebblingState,
+    step,
+    superstep_index: int = 0,
+    report: Optional[ValidationReport] = None,
+) -> None:
+    """Replay one superstep on ``state``, enforcing every model rule.
+
+    This is the single replay primitive shared by :func:`validate_schedule`,
+    :func:`replay_final_state` and the incremental revalidation of the
+    refinement engine (:mod:`repro.refine`): the four phases are applied in
+    order (compute, save, delete, load) with the superstep semantics of the
+    save phase (blue pebbles become visible only after *all* saves of the
+    step).  Raises :class:`InvalidScheduleError` on any violation; when a
+    ``report`` is given, operation counts and peak cache usage are recorded
+    on it.
+    """
+    s = superstep_index
+    # 1. compute phases (COMPUTE / DELETE only)
+    for p, ps in enumerate(step.processor_steps):
+        ps.validate_phase_types()
+        for op in ps.compute_phase:
+            try:
+                state.apply(p, op)
+            except InvalidScheduleError as exc:
+                raise InvalidScheduleError(f"superstep {s}: {exc}") from None
+            if report is not None:
+                if op.op_type is OpType.COMPUTE:
+                    report.num_computes += 1
+                    report.compute_events[op.node] = report.compute_events.get(op.node, 0) + 1
+                    report.computed_nodes.add(op.node)
+                else:
+                    report.num_deletes += 1
+                report.max_cache_used = max(report.max_cache_used, state.cache_used(p))
+    # 2. save phases: blue pebbles become visible only after all saves
+    new_blue: Set[NodeId] = set()
+    for p, ps in enumerate(step.processor_steps):
+        for v in ps.save_phase:
+            try:
+                state.apply_save(p, v, blue_target=new_blue)
+            except InvalidScheduleError as exc:
+                raise InvalidScheduleError(f"superstep {s}: {exc}") from None
+            if report is not None:
+                report.num_saves += 1
+    state.blue.update(new_blue)
+    # 3. delete phases
+    for p, ps in enumerate(step.processor_steps):
+        for v in ps.delete_phase:
+            try:
+                state.apply_delete(p, v)
+            except InvalidScheduleError as exc:
+                raise InvalidScheduleError(f"superstep {s}: {exc}") from None
+            if report is not None:
+                report.num_deletes += 1
+    # 4. load phases
+    for p, ps in enumerate(step.processor_steps):
+        for v in ps.load_phase:
+            try:
+                state.apply_load(p, v)
+            except InvalidScheduleError as exc:
+                raise InvalidScheduleError(f"superstep {s}: {exc}") from None
+            if report is not None:
+                report.num_loads += 1
+                report.max_cache_used = max(report.max_cache_used, state.cache_used(p))
 
 
 def validate_schedule(schedule: MbspSchedule, require_all_computed: bool = True) -> ValidationReport:
@@ -69,7 +137,6 @@ def validate_schedule(schedule: MbspSchedule, require_all_computed: bool = True)
     dag = instance.dag
     state = PebblingState(dag, instance.num_processors, instance.cache_size)
     report = ValidationReport(num_supersteps=schedule.num_supersteps)
-    compute_events: Dict[NodeId, int] = {}
 
     for s, step in enumerate(schedule.supersteps):
         if step.num_processors != instance.num_processors:
@@ -77,48 +144,7 @@ def validate_schedule(schedule: MbspSchedule, require_all_computed: bool = True)
                 f"superstep {s} has {step.num_processors} processor entries, "
                 f"expected {instance.num_processors}"
             )
-        # 1. compute phases (COMPUTE / DELETE only)
-        for p, ps in enumerate(step.processor_steps):
-            ps.validate_phase_types()
-            for op in ps.compute_phase:
-                try:
-                    state.apply(p, op)
-                except InvalidScheduleError as exc:
-                    raise InvalidScheduleError(f"superstep {s}: {exc}") from None
-                if op.op_type is OpType.COMPUTE:
-                    report.num_computes += 1
-                    compute_events[op.node] = compute_events.get(op.node, 0) + 1
-                    report.computed_nodes.add(op.node)
-                else:
-                    report.num_deletes += 1
-                report.max_cache_used = max(report.max_cache_used, state.cache_used(p))
-        # 2. save phases: blue pebbles become visible only after all saves
-        new_blue: Set[NodeId] = set()
-        for p, ps in enumerate(step.processor_steps):
-            for v in ps.save_phase:
-                try:
-                    state.apply_save(p, v, blue_target=new_blue)
-                except InvalidScheduleError as exc:
-                    raise InvalidScheduleError(f"superstep {s}: {exc}") from None
-                report.num_saves += 1
-        state.blue.update(new_blue)
-        # 3. delete phases
-        for p, ps in enumerate(step.processor_steps):
-            for v in ps.delete_phase:
-                try:
-                    state.apply_delete(p, v)
-                except InvalidScheduleError as exc:
-                    raise InvalidScheduleError(f"superstep {s}: {exc}") from None
-                report.num_deletes += 1
-        # 4. load phases
-        for p, ps in enumerate(step.processor_steps):
-            for v in ps.load_phase:
-                try:
-                    state.apply_load(p, v)
-                except InvalidScheduleError as exc:
-                    raise InvalidScheduleError(f"superstep {s}: {exc}") from None
-                report.num_loads += 1
-                report.max_cache_used = max(report.max_cache_used, state.cache_used(p))
+        replay_superstep(state, step, s, report=report)
 
     missing = state.missing_sinks()
     if missing:
@@ -134,7 +160,7 @@ def validate_schedule(schedule: MbspSchedule, require_all_computed: bool = True)
             raise InvalidScheduleError(
                 f"nodes never computed anywhere in the schedule: {not_computed!r}"
             )
-    report.recomputed_nodes = sum(1 for c in compute_events.values() if c > 1)
+    report.recomputed_nodes = sum(1 for c in report.compute_events.values() if c > 1)
     return report
 
 
@@ -147,21 +173,8 @@ def replay_final_state(schedule: MbspSchedule) -> PebblingState:
     """
     instance = schedule.instance
     state = PebblingState(instance.dag, instance.num_processors, instance.cache_size)
-    for step in schedule.supersteps:
-        for p, ps in enumerate(step.processor_steps):
-            for op in ps.compute_phase:
-                state.apply(p, op)
-        new_blue = set()
-        for p, ps in enumerate(step.processor_steps):
-            for v in ps.save_phase:
-                state.apply_save(p, v, blue_target=new_blue)
-        state.blue.update(new_blue)
-        for p, ps in enumerate(step.processor_steps):
-            for v in ps.delete_phase:
-                state.apply_delete(p, v)
-        for p, ps in enumerate(step.processor_steps):
-            for v in ps.load_phase:
-                state.apply_load(p, v)
+    for s, step in enumerate(schedule.supersteps):
+        replay_superstep(state, step, s)
     return state
 
 

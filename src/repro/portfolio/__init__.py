@@ -10,8 +10,12 @@ from repro.portfolio.members import (
     DEFAULT_MEMBERS,
     PRUNABLE_MEMBERS,
     PRUNED_STATUS_PREFIX,
+    REFINE_SUFFIX,
     available_members,
+    base_member_name,
     is_pruned,
+    is_prunable_member,
+    is_refined_member,
     run_member,
     schedule_digest,
 )
@@ -21,8 +25,12 @@ __all__ = [
     "DEFAULT_MEMBERS",
     "PRUNABLE_MEMBERS",
     "PRUNED_STATUS_PREFIX",
+    "REFINE_SUFFIX",
     "available_members",
+    "base_member_name",
     "is_pruned",
+    "is_prunable_member",
+    "is_refined_member",
     "run_member",
     "schedule_digest",
     "Portfolio",

@@ -45,19 +45,29 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.runner import (
     ExperimentConfig,
     InstanceResult,
+    run_divide_and_conquer,
     run_divide_and_conquer_instance,
     run_instance,
 )
-from repro.core.two_stage import baseline_schedule, run_two_stage
+from repro.core.scheduler import MbspIlpScheduler
+from repro.core.two_stage import TwoStageResult, baseline_schedule, run_two_stage
 from repro.model.schedule import MbspSchedule
 from repro.model.serialization import schedule_to_dict
+from repro.refine import Refiner
 from repro.theory.bounds import instance_lower_bound
 
 #: The default portfolio evaluated by :class:`repro.portfolio.Portfolio`.
 DEFAULT_MEMBERS = ("bspg+clairvoyant", "cilk+lru", "ilp")
 
-#: Members supporting bound-aware pruning: only the warm-started holistic
-#: ILP, whose keep-the-baseline semantics make a skip provably cost-neutral.
+#: Suffix naming the refined variant of any base member: the base pipeline
+#: runs first and its schedule is post-optimized by :mod:`repro.refine`.
+REFINE_SUFFIX = "+refine"
+
+#: Members supporting bound-aware pruning: the warm-started holistic ILP,
+#: whose keep-the-baseline semantics make a skip provably cost-neutral.
+#: Refined members are *also* prunable (refinement never increases cost, so
+#: at gap 0 a bound-matching base schedule cannot be improved) — use
+#: :func:`is_prunable_member` rather than this legacy tuple.
 PRUNABLE_MEMBERS = ("ilp",)
 
 #: ``solver_status`` prefix of results whose ILP solve was pruned.
@@ -69,14 +79,42 @@ TWO_STAGE_POLICIES = ("clairvoyant", "lru", "fifo")
 
 
 def available_members() -> List[str]:
-    """Every member name understood by :func:`run_member`."""
+    """Every member name understood by :func:`run_member`.
+
+    Every base member also exists in a ``"<member>+refine"`` variant that
+    post-optimizes the base schedule with the local-search refinement engine.
+    """
     members = [
         f"{scheduler}+{policy}"
         for scheduler in TWO_STAGE_SCHEDULERS
         for policy in TWO_STAGE_POLICIES
     ]
     members += ["ilp", "dac"]
-    return members
+    return members + [member + REFINE_SUFFIX for member in members]
+
+
+def is_refined_member(member: str) -> bool:
+    """Whether ``member`` names a refined (``"...+refine"``) pipeline."""
+    return member.strip().lower().endswith(REFINE_SUFFIX)
+
+
+def base_member_name(member: str) -> str:
+    """The base pipeline of a refined member (identity for base members)."""
+    name = member.strip().lower()
+    return name[: -len(REFINE_SUFFIX)] if name.endswith(REFINE_SUFFIX) else name
+
+
+def is_prunable_member(member: str) -> bool:
+    """Whether bound-aware pruning may skip work for ``member`` cost-neutrally.
+
+    True for the warm-started holistic ``ilp`` (skipping the solve keeps the
+    baseline, which the member would have reported anyway) and for every
+    refined member (refinement never decreases below the lower bound and
+    never increases cost, so a bound-matching base schedule is returned
+    unchanged either way).
+    """
+    name = member.strip().lower()
+    return name == "ilp" or name.endswith(REFINE_SUFFIX)
 
 
 def schedule_digest(schedule: MbspSchedule) -> str:
@@ -88,6 +126,11 @@ def schedule_digest(schedule: MbspSchedule) -> str:
 def is_pruned(result: InstanceResult) -> bool:
     """Whether ``result`` reports a bound-pruned (skipped) ILP solve."""
     return result.solver_status.startswith(PRUNED_STATUS_PREFIX)
+
+
+def _within_gap(cost: float, bound: float, prune_gap: float) -> bool:
+    """The bound-pruning predicate: ``cost`` provably within the gap of optimal."""
+    return cost <= (1.0 + prune_gap) * bound + 1e-9
 
 
 def _run_ilp_member(
@@ -104,7 +147,7 @@ def _run_ilp_member(
     instance = config.instance_for(dag)
     bound = instance_lower_bound(instance, synchronous=config.synchronous)
     base = baseline_schedule(instance, synchronous=config.synchronous, seed=config.seed)
-    if base.cost > (1.0 + prune_gap) * bound + 1e-9:
+    if not _within_gap(base.cost, bound, prune_gap):
         return run_instance(dag, config, instance=instance, baseline=base)
     reason = (
         f"{PRUNED_STATUS_PREFIX} baseline cost {base.cost:g} is within "
@@ -120,6 +163,157 @@ def _run_ilp_member(
     )
 
 
+def _two_stage_member(
+    dag: ComputationalDag,
+    config: ExperimentConfig,
+    scheduler: str,
+    policy: str,
+    instance=None,
+):
+    """Run one two-stage pipeline; shared by base and refined members."""
+    if instance is None:
+        instance = config.instance_for(dag)
+    bsp_ilp_config = None
+    if scheduler in ("bsp-ilp", "bsp_ilp", "ilp"):
+        # the first-stage ILP must honour the configured backend and budgets:
+        # the engine's job hash covers them, so solving with anything else
+        # would poison backend-comparison sweeps through the result cache
+        from repro.bsp.ilp import BspIlpConfig
+        from repro.ilp import SolverOptions
+
+        bsp_ilp_config = BspIlpConfig(
+            solver_options=SolverOptions(
+                time_limit=config.ilp_time_limit, node_limit=config.ilp_node_limit
+            ),
+            backend=config.ilp_backend,
+        )
+    return run_two_stage(
+        instance,
+        scheduler=scheduler,
+        policy=policy or None,
+        synchronous=config.synchronous,
+        seed=config.seed,
+        bsp_ilp_config=bsp_ilp_config,
+    ), instance
+
+
+def _inapplicable_result(dag: ComputationalDag, exc: Exception) -> InstanceResult:
+    """Members that do not apply (e.g. dfs with P > 1) report infinite cost."""
+    return InstanceResult(
+        instance_name=dag.name,
+        num_nodes=dag.num_nodes,
+        baseline_cost=math.inf,
+        ilp_cost=math.inf,
+        solver_status=f"inapplicable: {exc}",
+        extra_costs={"member_cost": math.inf},
+    )
+
+
+def _run_refined_member(
+    dag: ComputationalDag,
+    config: ExperimentConfig,
+    member: str,
+    prune_gap: Optional[float],
+) -> InstanceResult:
+    """A ``"<base>+refine"`` member: run the base pipeline, then local search.
+
+    Bound-aware pruning (same logic as the ``ilp`` member): when the
+    relevant incumbent is provably within ``prune_gap`` of the instance
+    lower bound, the remaining work is skipped — for ``ilp+refine`` that is
+    the whole refine-and-solve tail (the two-stage baseline stands), for
+    other members just the refinement pass (the base schedule stands).
+    Refinement never increases cost, so at the default gap ``0.0`` a skip
+    is provably cost-neutral.
+
+    The ``ilp+refine`` member demonstrates the intended production pipeline:
+    the *refined* baseline seeds the holistic ILP (as its warm-start
+    incumbent), and the solver's best schedule is refined once more.
+    """
+    base = base_member_name(member)
+    prune = prune_gap is not None and prune_gap >= 0
+    refiner = Refiner(config.refine)
+
+    def refined_result(
+        schedule: MbspSchedule, unrefined_cost: float, baseline_cost: float
+    ) -> InstanceResult:
+        refined = refiner.refine(schedule, synchronous=config.synchronous)
+        cost = min(refined.final_cost, unrefined_cost)
+        return InstanceResult(
+            instance_name=dag.name,
+            num_nodes=dag.num_nodes,
+            baseline_cost=baseline_cost,
+            ilp_cost=cost,
+            solver_status=f"schedule:{schedule_digest(refined.schedule)}",
+            extra_costs={"member_cost": cost, **refined.telemetry(unrefined_cost)},
+        )
+
+    def pruned_result(cost: float, bound: float) -> InstanceResult:
+        reason = (
+            f"{PRUNED_STATUS_PREFIX} base cost {cost:g} is within "
+            f"{prune_gap:.1%} of the lower bound {bound:g}; refinement pruned"
+        )
+        return InstanceResult(
+            instance_name=dag.name,
+            num_nodes=dag.num_nodes,
+            baseline_cost=cost,
+            ilp_cost=cost,
+            solver_status=reason,
+            extra_costs={"member_cost": cost, "lower_bound": bound, "pruned": 1.0},
+        )
+
+    # the instance is only materialized when a branch actually needs it, and
+    # the lower bound only for the branches that prune before running (the
+    # two-stage branch defers it until the member proved applicable)
+    instance = config.instance_for(dag) if (prune or base == "ilp") else None
+    bound = None
+    if prune and (base == "ilp" or base in ("dac", "divide-and-conquer")):
+        bound = instance_lower_bound(instance, synchronous=config.synchronous)
+
+    if base == "ilp":
+        baseline = baseline_schedule(
+            instance, synchronous=config.synchronous, seed=config.seed
+        )
+        if prune and _within_gap(baseline.cost, bound, prune_gap):
+            return pruned_result(baseline.cost, bound)
+        refined_base = refiner.refine(
+            baseline.mbsp_schedule, synchronous=config.synchronous
+        )
+        # seed the holistic ILP with the refined incumbent: the solver only
+        # searches for schedules strictly better than the refined baseline
+        seeded = TwoStageResult(
+            bsp_schedule=baseline.bsp_schedule,
+            mbsp_schedule=refined_base.schedule,
+            cost=refined_base.final_cost,
+            scheduler_name=f"{baseline.scheduler_name}+refine",
+            policy_name=baseline.policy_name,
+        )
+        ilp = MbspIlpScheduler(config.ilp_config()).schedule(instance, baseline=seeded)
+        result = refined_result(ilp.best_schedule, ilp.best_cost, baseline.cost)
+        result.solver_status = f"{ilp.solver_status}; {result.solver_status}"
+        result.solve_time = ilp.solve_time
+        return result
+    if base in ("dac", "divide-and-conquer"):
+        dac = run_divide_and_conquer(dag, config, instance=instance)
+        if prune and _within_gap(dac.dac_cost, bound, prune_gap):
+            result = pruned_result(dac.dac_cost, bound)
+            result.baseline_cost = dac.baseline.cost
+            return result
+        result = refined_result(dac.dac_schedule, dac.dac_cost, dac.baseline.cost)
+        result.extra_costs["parts"] = float(dac.partition.num_parts)
+        return result
+    scheduler, _, policy = base.partition("+")
+    try:
+        two_stage, instance = _two_stage_member(dag, config, scheduler, policy,
+                                                instance=instance)
+    except ConfigurationError as exc:
+        return _inapplicable_result(dag, exc)
+    if prune:
+        bound = instance_lower_bound(instance, synchronous=config.synchronous)
+        if _within_gap(two_stage.cost, bound, prune_gap):
+            return pruned_result(two_stage.cost, bound)
+    return refined_result(two_stage.mbsp_schedule, two_stage.cost, two_stage.cost)
+
+
 def run_member(
     dag: ComputationalDag,
     config: ExperimentConfig,
@@ -128,10 +322,13 @@ def run_member(
 ) -> InstanceResult:
     """Evaluate one portfolio ``member`` on ``dag`` under ``config``.
 
-    ``prune_gap`` enables bound-aware pruning for the ``ilp`` member (see
-    the module docstring); ``None`` (the default) disables it.
+    ``prune_gap`` enables bound-aware pruning for the prunable members (the
+    ``ilp`` member and every refined member, see the module docstring);
+    ``None`` (the default) disables it.
     """
     name = member.strip().lower()
+    if name.endswith(REFINE_SUFFIX):
+        return _run_refined_member(dag, config, name, prune_gap)
     if name == "ilp":
         result = _run_ilp_member(dag, config, prune_gap)
         result.extra_costs["member_cost"] = result.ilp_cost
@@ -147,41 +344,12 @@ def run_member(
             f"expected 'ilp', 'dac' or '<scheduler>+<policy>' "
             f"(see repro.portfolio.available_members())"
         )
-    instance = config.instance_for(dag)
-    bsp_ilp_config = None
-    if scheduler in ("bsp-ilp", "bsp_ilp", "ilp"):
-        # the first-stage ILP must honour the configured backend and budgets:
-        # the engine's job hash covers them, so solving with anything else
-        # would poison backend-comparison sweeps through the result cache
-        from repro.bsp.ilp import BspIlpConfig
-        from repro.ilp import SolverOptions
-
-        bsp_ilp_config = BspIlpConfig(
-            solver_options=SolverOptions(
-                time_limit=config.ilp_time_limit, node_limit=config.ilp_node_limit
-            ),
-            backend=config.ilp_backend,
-        )
     try:
-        two_stage = run_two_stage(
-            instance,
-            scheduler=scheduler,
-            policy=policy or None,
-            synchronous=config.synchronous,
-            seed=config.seed,
-            bsp_ilp_config=bsp_ilp_config,
-        )
+        two_stage, _ = _two_stage_member(dag, config, scheduler, policy)
     except ConfigurationError as exc:
         # e.g. the DFS first stage on a multi-processor instance: the member
         # simply does not compete on this instance
-        return InstanceResult(
-            instance_name=dag.name,
-            num_nodes=dag.num_nodes,
-            baseline_cost=math.inf,
-            ilp_cost=math.inf,
-            solver_status=f"inapplicable: {exc}",
-            extra_costs={"member_cost": math.inf},
-        )
+        return _inapplicable_result(dag, exc)
     return InstanceResult(
         instance_name=dag.name,
         num_nodes=dag.num_nodes,

@@ -42,9 +42,9 @@ from repro.experiments.parallel import ExperimentEngine, ExperimentJob
 from repro.experiments.runner import ExperimentConfig, InstanceResult
 from repro.portfolio.members import (
     DEFAULT_MEMBERS,
-    PRUNABLE_MEMBERS,
     PRUNED_STATUS_PREFIX,
     available_members,
+    is_prunable_member,
 )
 
 
@@ -139,10 +139,11 @@ class Portfolio:
         dags = list(dags)
         jobs = [
             ExperimentJob.make("portfolio", dag, self.config, member=member, **(
-                # only ILP-backed members understand pruning; keeping the
-                # parameter off the other jobs keeps their cache keys stable
+                # only prunable members (ilp, "...+refine") understand the
+                # parameter; keeping it off the other jobs keeps their cache
+                # keys stable
                 {"prune_gap": self.prune_gap}
-                if self.prune_gap is not None and member in PRUNABLE_MEMBERS
+                if self.prune_gap is not None and is_prunable_member(member)
                 else {}
             ))
             for dag in dags

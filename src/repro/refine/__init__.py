@@ -1,0 +1,33 @@
+"""Local-search schedule refinement (``repro.refine``).
+
+A cheap improvement layer between the fast two-stage heuristics and the
+expensive exact ILP schedulers: hill climbing / simulated annealing over a
+pluggable neighborhood of schedule moves, with incremental cost deltas and
+localized validity replay.  See :class:`Refiner` / :func:`refine_schedule`
+for the API and :mod:`repro.refine.moves` for the neighborhood.
+"""
+
+from repro.refine.editing import IncrementalCost, ScheduleEditor
+from repro.refine.engine import (
+    RefineConfig,
+    RefineResult,
+    Refiner,
+    TraceEntry,
+    refine_schedule,
+)
+from repro.refine.moves import MOVE_FAMILIES, Move, generate_moves
+from repro.refine.validation import IncrementalValidator
+
+__all__ = [
+    "IncrementalCost",
+    "ScheduleEditor",
+    "RefineConfig",
+    "RefineResult",
+    "Refiner",
+    "TraceEntry",
+    "refine_schedule",
+    "MOVE_FAMILIES",
+    "Move",
+    "generate_moves",
+    "IncrementalValidator",
+]

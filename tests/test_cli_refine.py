@@ -1,0 +1,90 @@
+"""Tests for the refinement surface of the CLI (``refine``, ``--refine``)."""
+
+import pytest
+
+from repro import cli
+from repro.refine import RefineConfig
+
+
+class TestRefineParser:
+    def test_refine_defaults_match_refine_config(self):
+        args = cli.build_parser().parse_args(["refine"])
+        defaults = RefineConfig()
+        assert args.refine_budget == defaults.budget
+        assert args.refine_strategy == defaults.strategy
+        assert args.method == "baseline"
+
+    def test_refine_flags_on_every_command(self):
+        for command in (["schedule"], ["experiment"], ["portfolio"]):
+            args = cli.build_parser().parse_args(
+                command + ["--refine", "--refine-budget", "123",
+                           "--refine-strategy", "anneal"]
+            )
+            assert args.refine is True
+            assert args.refine_budget == 123
+            assert args.refine_strategy == "anneal"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["refine", "--refine-strategy", "tabu"])
+
+
+class TestRefineCommand:
+    def test_refine_baseline_reports_before_and_after(self, capsys):
+        exit_code = cli.main([
+            "refine", "--generator", "spmv", "--size", "5", "--processors", "2",
+            "--trace",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "refine:" in out
+        assert "refined synchronous cost" in out
+        assert "refined supersteps" in out
+
+    def test_refine_writes_schedule(self, tmp_path, capsys):
+        out_path = tmp_path / "refined.json"
+        exit_code = cli.main([
+            "refine", "--generator", "spmv", "--size", "4", "--processors", "2",
+            "--output", str(out_path),
+        ])
+        assert exit_code == 0
+        assert out_path.is_file()
+
+    def test_zero_budget_keeps_the_schedule(self, capsys):
+        exit_code = cli.main([
+            "refine", "--generator", "spmv", "--size", "4", "--processors", "2",
+            "--refine-budget", "0",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "0 accepted / 0 proposed" in out
+
+
+class TestScheduleRefineFlag:
+    def test_schedule_with_refine_prints_refined_costs(self, capsys):
+        exit_code = cli.main([
+            "schedule", "--generator", "spmv", "--size", "5", "--processors", "2",
+            "--refine",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "refined synchronous cost" in out
+
+    def test_schedule_without_refine_does_not(self, capsys):
+        exit_code = cli.main([
+            "schedule", "--generator", "spmv", "--size", "5", "--processors", "2",
+        ])
+        assert exit_code == 0
+        assert "refined" not in capsys.readouterr().out
+
+
+class TestPortfolioRefineFlag:
+    def test_portfolio_refine_adds_refined_members(self, capsys):
+        exit_code = cli.main([
+            "portfolio", "--members", "bspg+clairvoyant,cilk+lru", "--refine",
+            "--limit", "1", "--time-limit", "0.5",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "bspg+clairvoyant+refine" in out
+        assert "cilk+lru+refine" in out
