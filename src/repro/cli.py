@@ -1,22 +1,32 @@
 """Command-line interface for the MBSP scheduling library.
 
-Five sub-commands are provided:
+Six sub-commands are provided:
 
 * ``schedule``   — generate (or load) a DAG, schedule it with a chosen method
   and print costs, validation results and an optional schedule rendering;
 * ``refine``     — schedule a DAG and post-optimize the schedule with the
   local-search refinement engine, printing the before/after costs and the
   accepted-move trace;
+* ``pipeline``   — the composable scheduler pipelines (:mod:`repro.pipeline`):
+  ``pipeline list`` prints the registered stages and the member spec table,
+  ``pipeline run --spec "bspg+clairvoyant|refine|ilp"`` runs one pipeline on
+  one DAG and prints per-stage telemetry (cost in/out, wall time, solver
+  calls);
 * ``dataset``    — list the benchmark datasets (instance names, sizes, r0);
 * ``experiment`` — run one of the paper's table experiments and print the
   comparison against the paper's reference values;
 * ``portfolio``  — run a scheduler portfolio over a dataset and report the
-  best pipeline per instance.
+  best pipeline per instance.  Members are pipeline specs: pass legacy names
+  through ``--members`` and/or full specs through repeatable ``--pipeline``
+  flags; ``--list-members`` prints every known member with its canonical
+  pipeline.  Unknown member names warn and are skipped (matching the
+  ``REPRO_*`` environment-knob convention) instead of failing the sweep.
 
 Refinement threads through everything: ``schedule --refine`` post-optimizes
 the produced schedule, ``experiment --refine`` refines every per-instance
-result, and ``portfolio --refine`` adds a ``"<member>+refine"`` variant for
-every requested member (``--refine-budget`` bounds the move proposals per
+result, and ``portfolio --refine`` adds a refined variant for every
+requested member (``"<member>+refine"`` for legacy names, ``"<spec>|refine"``
+for pipeline specs; ``--refine-budget`` bounds the move proposals per
 schedule, ``--refine-strategy hill|anneal`` picks the search strategy).
 
 The ``experiment`` and ``portfolio`` commands submit through the parallel
@@ -42,7 +52,11 @@ Examples
 python -m repro.cli schedule --generator spmv --size 5 --processors 2 --method ilp --time-limit 10
 python -m repro.cli schedule --dag-file my_graph.json --processors 4 --method baseline --render
 python -m repro.cli refine --generator spmv --size 6 --processors 4 --refine-budget 5000 --trace
+python -m repro.cli pipeline list
+python -m repro.cli pipeline run --spec "bspg+clairvoyant|refine|ilp" --generator spmv --size 4
 python -m repro.cli portfolio --refine --members bspg+clairvoyant,cilk+lru --limit 4
+python -m repro.cli portfolio --pipeline "bspg+clairvoyant|refine|ilp" --limit 4
+python -m repro.cli portfolio --list-members
 python -m repro.cli dataset --which tiny --scale default
 python -m repro.cli experiment --table 1 --limit 3 --time-limit 5 --workers 4 --cache-dir .repro-cache
 python -m repro.cli experiment --table 1 --backend auto --workers 4
@@ -200,6 +214,57 @@ def _cmd_refine(args: argparse.Namespace) -> int:
     return _finish_schedule_output(args, schedule)
 
 
+def _cmd_pipeline_list(args: argparse.Namespace) -> int:
+    from repro.pipeline import stage_descriptions
+    from repro.portfolio import member_descriptions
+
+    print("registered pipeline stages (compose with '|'):")
+    for name, description in stage_descriptions():
+        print(f"  {name:<12s} {description}")
+    print()
+    print("portfolio member specs (legacy name -> canonical pipeline):")
+    for member, spec in member_descriptions():
+        print(f"  {member:<28s} {spec}")
+    print()
+    print('spec grammar: stage["("key=value,...")"] joined by "|", e.g. '
+          '"bspg+clairvoyant|refine|ilp"')
+    return 0
+
+
+def _cmd_pipeline_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import ExperimentConfig
+    from repro.pipeline import Pipeline
+    from repro.portfolio import resolve_member
+
+    dag = _build_dag(args)
+    stats = dag_statistics(dag)
+    print(f"DAG {dag.name}: {int(stats['nodes'])} nodes, {int(stats['edges'])} edges, "
+          f"r0 = {stats['r0']:g}")
+    config = ExperimentConfig(
+        name="pipeline",
+        num_processors=args.processors,
+        cache_factor=args.cache_factor,
+        g=args.g,
+        L=args.latency,
+        synchronous=not args.asynchronous,
+        ilp_time_limit=args.time_limit,
+        seed=args.seed,
+        refine=_refine_config_from_args(args, enabled=False),
+        **_backend_kwargs(args),
+    )
+    pipeline = Pipeline(resolve_member(args.spec))
+    print(f"canonical spec: {pipeline.canonical}")
+    prune_gap = None if args.no_prune else args.prune_gap
+    result = pipeline.run(dag, config, prune_gap=prune_gap)
+    print(result.describe())
+    if result.applicable and result.schedule is not None:
+        validate_schedule(result.schedule, require_all_computed=False)
+        print(f"status: {result.status()}")
+        return _finish_schedule_output(args, result.schedule)
+    print(f"status: {result.status()}")
+    return 1
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from repro.experiments.datasets import small_dataset_specs, tiny_dataset_specs
 
@@ -274,20 +339,74 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_portfolio(args: argparse.Namespace) -> int:
+    import warnings as _warnings
+
+    from repro.exceptions import ConfigurationError
     from repro.experiments.datasets import small_dataset, tiny_dataset
     from repro.experiments.runner import ExperimentConfig
-    from repro.portfolio import DEFAULT_MEMBERS, Portfolio, format_portfolio_table
+    from repro.portfolio import (
+        DEFAULT_MEMBERS,
+        MEMBER_SPECS,
+        Portfolio,
+        format_portfolio_table,
+        is_refined_member,
+        member_descriptions,
+        resolve_member,
+    )
+    from repro.portfolio import REFINE_SUFFIX
 
-    from repro.portfolio import REFINE_SUFFIX, is_refined_member
+    if args.list_members:
+        print("portfolio members (legacy name -> canonical pipeline spec):")
+        for member, spec in member_descriptions():
+            print(f"  {member:<28s} {spec}")
+        print("any pipeline spec is a valid member too "
+              "(see 'repro pipeline list' for the stages)")
+        return 0
 
     members = [m.strip() for m in args.members.split(",") if m.strip()] \
         if args.members else list(DEFAULT_MEMBERS)
+    members += [spec.strip() for spec in (args.pipeline or []) if spec.strip()]
+    # unknown member names warn and are skipped (matching the REPRO_* env
+    # knob convention) so one typo cannot fail a long sweep — validated
+    # before the --refine expansion, so a typo warns once, not twice; an
+    # all-unknown list is still an error
+    valid = []
+    resolved = {}
+    for member in members:
+        try:
+            resolved[member] = resolve_member(member)
+            valid.append(member)
+        except ConfigurationError:
+            _warnings.warn(
+                f"ignoring unknown portfolio member {member!r}; see "
+                f"'repro portfolio --list-members' and 'repro pipeline list'",
+                UserWarning,
+                stacklevel=2,
+            )
+    if not valid:
+        raise ConfigurationError(
+            "no valid portfolio members left after skipping unknown names; "
+            "see 'repro portfolio --list-members'"
+        )
+    members = valid
     if args.refine:
-        members += [
-            member + REFINE_SUFFIX
-            for member in members
-            if not is_refined_member(member)
-        ]
+        from repro.pipeline import parse as parse_spec
+
+        def ends_refined(member):
+            # legacy "+refine" names and raw specs whose last stage already
+            # is a refine pass gain nothing from a second one
+            return is_refined_member(member) or \
+                parse_spec(member).stages[-1].name == "refine"
+
+        for member in list(members):
+            if ends_refined(member):
+                continue
+            # legacy names take the historical "+refine" suffix; raw
+            # pipeline specs are extended with an explicit refine stage
+            variant = member + REFINE_SUFFIX if member in MEMBER_SPECS \
+                else member + "|refine"
+            members.append(variant)
+            resolved[variant] = resolve_member(variant)
     dags = (tiny_dataset(scale=args.scale, limit=args.limit) if args.which == "tiny"
             else small_dataset(scale=args.scale, limit=args.limit))
     engine = _make_engine(args)
@@ -297,7 +416,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     # knobs.  (With refined members present the knobs are part of every job
     # hash by design — ExperimentConfig.refine is covered by the content
     # hash so sweeps with different refinement settings never collide.)
-    uses_refine = any(is_refined_member(member) for member in members)
+    uses_refine = any("refine" in spec for spec in resolved.values())
     config = ExperimentConfig(
         name="portfolio",
         num_processors=args.processors,
@@ -310,7 +429,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     prune_gap = None if args.no_prune else args.prune_gap
     portfolio = Portfolio(config=config, prune_gap=prune_gap)
     rows = portfolio.run(members, dags, engine=engine)
-    print(format_portfolio_table(rows))
+    print(format_portfolio_table(rows, reuse=portfolio.last_reuse))
     wins: dict = {}
     for row in rows:
         winner = row.best_member if row.has_winner else "(none applicable)"
@@ -394,6 +513,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print every accepted move of the refinement")
     refine.set_defaults(func=_cmd_refine)
 
+    pipe = sub.add_parser(
+        "pipeline", help="composable scheduler pipelines (repro.pipeline)"
+    )
+    pipe_sub = pipe.add_subparsers(dest="action", required=True)
+    pipe_list = pipe_sub.add_parser(
+        "list", help="print the registered stages and the member spec table"
+    )
+    pipe_list.set_defaults(func=_cmd_pipeline_list)
+    pipe_run = pipe_sub.add_parser(
+        "run", help="run one pipeline spec on one DAG with per-stage telemetry"
+    )
+    pipe_run.add_argument(
+        "--spec", required=True,
+        help="pipeline spec or member name, e.g. 'bspg+clairvoyant|refine|ilp'"
+    )
+    add_dag_arguments(pipe_run)
+    add_refine_arguments(pipe_run, with_switch=False)
+    pipe_run.add_argument("--prune-gap", type=float, default=None,
+                          help="bound-aware per-stage pruning gap "
+                               "(default: no pruning)")
+    pipe_run.add_argument("--no-prune", action="store_true",
+                          help="disable bound-aware pruning")
+    pipe_run.set_defaults(func=_cmd_pipeline_run)
+
     data = sub.add_parser("dataset", help="list the benchmark datasets")
     data.add_argument("--which", choices=["tiny", "small"], default="tiny")
     data.add_argument("--scale", choices=["default", "paper"], default="default")
@@ -427,6 +570,12 @@ def build_parser() -> argparse.ArgumentParser:
     port.add_argument("--members", default=None,
                       help="comma-separated member pipelines, e.g. "
                            "'bspg+clairvoyant,cilk+lru,ilp,dac'")
+    port.add_argument("--pipeline", action="append", default=None, metavar="SPEC",
+                      help="add one pipeline spec as a member (repeatable), "
+                           "e.g. --pipeline 'bspg+clairvoyant|refine|ilp'")
+    port.add_argument("--list-members", action="store_true",
+                      help="print every member name with its canonical "
+                           "pipeline spec and exit")
     port.add_argument("--which", choices=["tiny", "small"], default="tiny")
     port.add_argument("--scale", choices=["default", "paper"], default="default")
     port.add_argument("--limit", type=int, default=None, help="only the first N instances")

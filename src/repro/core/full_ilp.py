@@ -78,6 +78,16 @@ class MbspIlpConfig:
     cutoff:
         Optional upper bound on the objective (cost of a known schedule);
         mirrors warm-starting the solver with the baseline.
+    warm_start:
+        How the scheduler warm-starts the solver from its incumbent schedule:
+        ``"objective"`` (the default) passes only the incumbent *cost* (an
+        objective cutoff row for HiGHS, an incumbent bound for branch and
+        bound); ``"solution"`` additionally encodes the incumbent schedule
+        into a full ILP variable assignment (:mod:`repro.core.encoding`) and
+        hands it to the backend as ``SolverOptions.warm_start_solution`` —
+        the branch-and-bound backend installs it as its initial incumbent.
+        When the incumbent schedule cannot be encoded within the step budget
+        the scheduler falls back to the objective-only warm start.
     solver_options / backend:
         Passed to :func:`repro.ilp.solve`.  ``backend=None`` selects the
         process default (``REPRO_ILP_BACKEND`` or ``"scipy"``); see
@@ -90,12 +100,18 @@ class MbspIlpConfig:
     max_steps: Optional[int] = None
     extra_steps: int = 2
     cutoff: Optional[float] = None
+    warm_start: str = "objective"
     solver_options: SolverOptions = None
     backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.solver_options is None:
             self.solver_options = SolverOptions(time_limit=60.0)
+        if self.warm_start not in ("objective", "solution"):
+            raise ConfigurationError(
+                f"unknown warm_start mode {self.warm_start!r}; "
+                f"expected 'objective' or 'solution'"
+            )
         if self.max_steps is not None and self.max_steps < 1:
             raise ConfigurationError("max_steps must be at least 1")
         if self.extra_steps < 0:
@@ -104,7 +120,14 @@ class MbspIlpConfig:
 
 @dataclass
 class MbspIlpVariables:
-    """Handles to the decision variables, used by the schedule extraction."""
+    """Handles to the decision variables.
+
+    Used in both directions: the schedule *extraction* reads operation
+    variables out of a solution, and the schedule→solution *encoder*
+    (:mod:`repro.core.encoding`) writes a full variable assignment for a
+    known schedule, which is why the auxiliary step/phase/cost variables are
+    recorded here as well.
+    """
 
     num_steps: int
     compute: Dict[Tuple[int, NodeId, int], Variable]
@@ -116,6 +139,14 @@ class MbspIlpVariables:
     commphase: List[Variable] = field(default_factory=list)
     compends: List[Variable] = field(default_factory=list)
     commends: List[Variable] = field(default_factory=list)
+    # per-(processor, step) operation-kind indicators (step merging only)
+    compstep: Dict[Tuple[int, int], Variable] = field(default_factory=dict)
+    commstep: Dict[Tuple[int, int], Variable] = field(default_factory=dict)
+    # synchronous cost machinery (Appendix C.1.2)
+    compinduced: List[Variable] = field(default_factory=list)
+    comminduced: List[Variable] = field(default_factory=list)
+    compuntil: Dict[Tuple[int, int], Variable] = field(default_factory=dict)
+    communtil: Dict[Tuple[int, int], Variable] = field(default_factory=dict)
     makespan: Optional[Variable] = None
     objective_expr: Optional[LinExpr] = None
 
@@ -339,6 +370,8 @@ class MbspIlpBuilder:
                 for p in range(self.P):
                     compstep = model.add_binary(f"compstep_{p}_{t}")
                     commstep = model.add_binary(f"commstep_{p}_{t}")
+                    var.compstep[p, t] = compstep
+                    var.commstep[p, t] = commstep
                     model.add_constraint(
                         lin_sum(var.compute[p, v, t] for v in computable)
                         <= n * compstep
@@ -441,6 +474,7 @@ class MbspIlpBuilder:
 
         compinduced = [model.add_continuous(f"compinduced_{t}") for t in range(T)]
         comminduced = [model.add_continuous(f"comminduced_{t}") for t in range(T)]
+        var.compinduced, var.comminduced = compinduced, comminduced
 
         for p in range(self.P):
             compuntil_prev: Optional[Variable] = None
@@ -448,6 +482,8 @@ class MbspIlpBuilder:
             for t in range(T):
                 compuntil = model.add_continuous(f"compuntil_{p}_{t}")
                 communtil = model.add_continuous(f"communtil_{p}_{t}")
+                var.compuntil[p, t] = compuntil
+                var.communtil[p, t] = communtil
                 comp_cost = lin_sum(
                     dag.omega(v) * var.compute[p, v, t] for v in computable
                 )

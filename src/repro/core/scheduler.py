@@ -43,6 +43,15 @@ class MbspSchedulingResult:
     best_cost: float
     solver_status: str
     solve_time: float
+    #: warm start actually handed to the solver: ``"objective"`` (incumbent
+    #: cost only) or ``"solution"`` (full encoded variable assignment); the
+    #: configured ``warm_start="solution"`` degrades to ``"objective"`` when
+    #: the incumbent schedule does not fit the model's step budget.
+    warm_start: str = "objective"
+    #: the backend's free-form result message (e.g. branch and bound notes
+    #: ``"warm-start solution proven optimal"`` when the installed incumbent
+    #: survived the search) — diagnostics, not part of any fingerprint.
+    solver_message: str = ""
 
     @property
     def improvement_ratio(self) -> float:
@@ -52,10 +61,17 @@ class MbspSchedulingResult:
         return self.best_cost / self.baseline.cost
 
 
+#: Default cap on the derived ILP step budget ``T``: the variable count grows
+#: linearly in ``T`` and compact models find far better incumbents within a
+#: limited solver budget.  Shared by :func:`estimate_time_steps` and the
+#: warm-start-solution budget widening in :class:`MbspIlpScheduler`.
+DEFAULT_STEP_CAP = 12
+
+
 def estimate_time_steps(
     baseline: MbspSchedule,
     extra_steps: int = 2,
-    step_cap: int = 12,
+    step_cap: int = DEFAULT_STEP_CAP,
 ) -> int:
     """Derive the ILP step budget ``T`` from an initial MBSP schedule.
 
@@ -109,13 +125,29 @@ class MbspIlpScheduler:
                 # warm start instead (below), so the model never carries two
                 # copies of the same objective bound
                 cutoff=config.cutoff,
+                warm_start=config.warm_start,
                 solver_options=config.solver_options,
                 backend=config.backend,
             ),
             boundary=boundary,
         )
+        encoding_steps = None
+        if config.warm_start == "solution" and config.max_steps is None:
+            # the incumbent encoding typically needs up to ~3 steps per
+            # superstep (compute / save / load); widen the derived budget up
+            # to the standard cap so the encoding fits whenever possible —
+            # never beyond it, so the model stays solver-friendly
+            from repro.core.encoding import simulate_schedule_steps
+
+            encoding_steps = simulate_schedule_steps(builder, baseline.mbsp_schedule)
+            if (
+                encoding_steps is not None
+                and num_steps < len(encoding_steps) <= DEFAULT_STEP_CAP
+            ):
+                num_steps = len(encoding_steps)
         model, variables = builder.build(num_steps)
         solver_options = config.solver_options
+        warm_start_used = "objective"
         if (
             solver_options is not None
             and solver_options.warm_start_objective is None
@@ -127,6 +159,22 @@ class MbspIlpScheduler:
             solver_options = replace(
                 solver_options, warm_start_objective=float(baseline.cost)
             )
+        if config.warm_start == "solution" and solver_options is not None:
+            # additionally encode the incumbent schedule into a full variable
+            # assignment: branch and bound installs it as its initial
+            # incumbent (and returns it when the tree cannot improve), the
+            # scipy backend derives an objective cutoff row from it
+            from repro.core.encoding import encode_schedule_solution
+
+            encoding = encode_schedule_solution(
+                builder, model, variables, baseline.mbsp_schedule,
+                steps=encoding_steps,
+            )
+            if encoding is not None:
+                solver_options = replace(
+                    solver_options, warm_start_solution=encoding.values
+                )
+                warm_start_used = "solution"
         solution = solve(model, solver_options, backend=config.backend)
 
         ilp_schedule: Optional[MbspSchedule] = None
@@ -156,6 +204,8 @@ class MbspIlpScheduler:
             best_cost=best_cost,
             solver_status=solution.status.value,
             solve_time=solution.solve_time,
+            warm_start=warm_start_used,
+            solver_message=solution.message,
         )
 
 

@@ -130,7 +130,12 @@ def execute_job(job: ExperimentJob) -> InstanceResult:
 
     before = solver_call_stats().snapshot()
     result = _dispatch_job(job)
-    result.solver_stats = solver_call_stats().delta_since(before)
+    # merge (not overwrite): pipeline jobs pre-populate diagnostics such as
+    # the shared-prefix reuse counters, which live next to the solver tally
+    result.solver_stats = {
+        **result.solver_stats,
+        **solver_call_stats().delta_since(before),
+    }
     return result
 
 

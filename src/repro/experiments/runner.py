@@ -404,9 +404,22 @@ def run_divide_and_conquer_instance(
 
 
 def dataset_scale() -> str:
-    """The dataset scale selected through ``REPRO_BENCH_SCALE``."""
+    """The dataset scale selected through ``REPRO_BENCH_SCALE``.
+
+    Unknown values warn and fall back to ``"default"``, matching the
+    warn-and-fall-back convention of the other ``REPRO_*`` knobs
+    (``REPRO_ILP_BACKEND`` et al.) instead of being silently swallowed.
+    """
     scale = os.environ.get("REPRO_BENCH_SCALE", "default")
-    return scale if scale in ("default", "paper") else "default"
+    if scale in ("default", "paper"):
+        return scale
+    warnings.warn(
+        f"ignoring unknown value {scale!r} of environment variable "
+        f"REPRO_BENCH_SCALE (expected 'default' or 'paper'); using 'default'",
+        UserWarning,
+        stacklevel=2,
+    )
+    return "default"
 
 
 def dataset_limit() -> Optional[int]:

@@ -91,6 +91,7 @@ class IlpModel:
         self.constraints: List[Constraint] = []
         self._objective: LinExpr = LinExpr()
         self._sense: Sense = Sense.MINIMIZE
+        self._compiled: Optional[CompiledModel] = None
 
     # ------------------------------------------------------------------
     # variables
@@ -98,6 +99,7 @@ class IlpModel:
     def _add_variable(self, name: str, lower: float, upper: float, is_integer: bool) -> Variable:
         var = Variable(len(self.variables), name, lower, upper, is_integer)
         self.variables.append(var)
+        self._compiled = None
         return var
 
     def add_binary(self, name: str) -> Variable:
@@ -137,6 +139,7 @@ class IlpModel:
         if name:
             constraint.name = name
         self.constraints.append(constraint)
+        self._compiled = None
         return constraint
 
     def add_constraints(self, constraints: Iterable[Constraint]) -> None:
@@ -147,11 +150,13 @@ class IlpModel:
         """Set a minimization objective."""
         self._objective = LinExpr._coerce(expr).copy()
         self._sense = Sense.MINIMIZE
+        self._compiled = None
 
     def maximize(self, expr) -> None:
         """Set a maximization objective."""
         self._objective = LinExpr._coerce(expr).copy()
         self._sense = Sense.MAXIMIZE
+        self._compiled = None
 
     @property
     def objective(self) -> LinExpr:
@@ -165,7 +170,15 @@ class IlpModel:
     # compilation
     # ------------------------------------------------------------------
     def compile(self) -> CompiledModel:
-        """Compile to the sparse arrays used by the solver backends."""
+        """Compile to the sparse arrays used by the solver backends.
+
+        The result is memoized (and invalidated by every mutation — adding
+        variables or constraints, setting the objective), so the warm-start
+        schedule encoder's feasibility vetting and the solver backend's own
+        compile of the same model share one pass over the constraint set.
+        """
+        if self._compiled is not None:
+            return self._compiled
         n = len(self.variables)
         c = np.zeros(n)
         for idx, coeff in self._objective.coeffs.items():
@@ -193,7 +206,7 @@ class IlpModel:
         var_lb = np.array([v.lower for v in self.variables])
         var_ub = np.array([v.upper for v in self.variables])
         integrality = np.array([1 if v.is_integer else 0 for v in self.variables])
-        return CompiledModel(
+        self._compiled = CompiledModel(
             c=c,
             A=A,
             con_lb=con_lb,
@@ -204,6 +217,7 @@ class IlpModel:
             objective_constant=self._objective.constant,
             sense=self._sense,
         )
+        return self._compiled
 
     # ------------------------------------------------------------------
     def statistics(self) -> Dict[str, int]:

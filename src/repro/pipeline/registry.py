@@ -1,0 +1,97 @@
+"""The pipeline stage registry (mirroring :mod:`repro.ilp.backends`).
+
+Stages are registered as *factories*: a canonical name (plus aliases), a
+one-line description, and a ``build(options)`` callable turning the spec
+options of one stage token into a :class:`~repro.pipeline.stage.Stage`
+instance.  New stages plug in with one :func:`register_stage` call and are
+immediately usable in pipeline specs, portfolio members and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.pipeline.stage import Stage
+
+
+@dataclass(frozen=True)
+class StageFactory:
+    """One registered stage kind."""
+
+    name: str
+    description: str
+    build: Callable[[Mapping[str, str]], Stage]
+    #: option names the factory understands (for error messages and
+    #: spec-fuzzing tests); values are documented defaults, ``""`` = derived
+    options: Tuple[Tuple[str, str], ...] = ()
+
+
+_REGISTRY: Dict[str, StageFactory] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_stage(factory: StageFactory, aliases: Tuple[str, ...] = ()) -> StageFactory:
+    """Register ``factory`` under its canonical name plus optional aliases.
+
+    Re-registering a name replaces the previous factory (useful in tests);
+    an alias may not shadow a different stage's canonical name — the same
+    collision rules as the ILP backend registry.
+    """
+    name = factory.name.lower()
+    cleaned = [alias.lower() for alias in aliases]
+    if _ALIASES.get(name, name) != name:
+        raise ConfigurationError(
+            f"stage name {name!r} is already an alias of {_ALIASES[name]!r}"
+        )
+    for alias in cleaned:
+        if alias in _REGISTRY and alias != name:
+            raise ConfigurationError(
+                f"alias {alias!r} would shadow a registered stage"
+            )
+        if _ALIASES.get(alias, name) != name:
+            raise ConfigurationError(
+                f"alias {alias!r} already points to stage {_ALIASES[alias]!r}"
+            )
+    _REGISTRY[name] = factory
+    for alias in cleaned:
+        _ALIASES[alias] = name
+    return factory
+
+
+def available_stages() -> List[str]:
+    """Sorted canonical names of all registered stages."""
+    return sorted(_REGISTRY)
+
+
+def stage_descriptions() -> List[Tuple[str, str]]:
+    """``(name, description)`` pairs of all registered stages, sorted."""
+    return [(name, _REGISTRY[name].description) for name in available_stages()]
+
+
+def get_stage_factory(name: str) -> StageFactory:
+    """Look up a stage factory by canonical name or alias."""
+    key = str(name).strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown pipeline stage {name!r}; available stages: "
+            f"{available_stages()} (see 'repro pipeline list')"
+        ) from None
+
+
+def make_stage(name: str, options: Mapping[str, str] | None = None) -> Stage:
+    """Build a stage instance from a name and its spec options."""
+    factory = get_stage_factory(name)
+    options = dict(options or {})
+    known = {key for key, _ in factory.options}
+    unknown = sorted(set(options) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"stage {factory.name!r} does not understand option(s) {unknown}; "
+            f"known options: {sorted(known) or 'none'}"
+        )
+    return factory.build(options)

@@ -1,0 +1,206 @@
+"""The pipeline spec mini-language and the legacy member-name aliases.
+
+Grammar (whitespace-insensitive)::
+
+    pipeline := stage ("|" stage)*
+    stage    := name [ "(" key "=" value ("," key "=" value)* ")" ]
+              | scheduler "+" policy           # two-stage shorthand
+
+Examples::
+
+    bspg+clairvoyant                    one two-stage heuristic
+    bspg+clairvoyant|refine|ilp         heuristic -> local search -> exact ILP
+    cilk+lru | refine(budget=500) | ilp(warm=objective)
+    dac|refine                          divide-and-conquer, post-optimized
+
+Parsing produces a :class:`PipelineSpec`; :func:`canonicalize` renders it
+back into the canonical string (options sorted, defaults omitted,
+``baseline`` auto-prepended when the first stage needs an incumbent), and
+``parse(canonicalize(parse(s)))`` is a fixed point — property-tested in
+``tests/property``.
+
+**Backward compatibility.**  Every legacy portfolio member name
+(``"bspg+clairvoyant"``, ``"ilp"``, ``"dac"``, ``"<member>+refine"`` …) is a
+valid spec: :data:`LEGACY_MEMBER_SPECS` pins each one to the pipeline that
+reproduces its historical behaviour *exactly* — in particular the legacy
+``ilp``-backed members canonicalize with ``warm=objective`` (the historical
+cost-only warm start), while newly written specs default to the full
+warm-start-solution encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.pipeline.registry import get_stage_factory, make_stage
+from repro.pipeline.stage import Stage
+from repro.pipeline.stages import TWO_STAGE_POLICIES, TWO_STAGE_SCHEDULERS
+
+#: Suffix naming the refined variant of a legacy member name.
+REFINE_SUFFIX = "+refine"
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One parsed stage token: a registered stage name plus its options."""
+
+    name: str
+    options: Tuple[Tuple[str, str], ...] = ()
+
+    def build(self) -> Stage:
+        return make_stage(self.name, dict(self.options))
+
+    def token(self) -> str:
+        """Canonical token (delegated to the stage, which knows defaults)."""
+        return self.build().spec_token()
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A parsed pipeline: an ordered tuple of stage specs."""
+
+    stages: Tuple[StageSpec, ...]
+
+    def canonical(self) -> str:
+        return "|".join(spec.token() for spec in self.stages)
+
+    def build_stages(self) -> List[Stage]:
+        return [spec.build() for spec in self.stages]
+
+
+# ----------------------------------------------------------------------
+# legacy member names
+# ----------------------------------------------------------------------
+def _legacy_member_stages(name: str) -> Optional[List[StageSpec]]:
+    """Stage sequence of a legacy portfolio member name (None: not one)."""
+    name = name.strip().lower()
+    refined = name.endswith(REFINE_SUFFIX)
+    base = name[: -len(REFINE_SUFFIX)] if refined else name
+    objective = (("warm", "objective"),)
+    if base == "ilp":
+        if refined:
+            # the historical "ilp+refine": refine the baseline, seed the
+            # holistic ILP with the refined incumbent, refine the result
+            return [
+                StageSpec("baseline"),
+                StageSpec("refine"),
+                StageSpec("ilp", objective),
+                StageSpec("refine"),
+            ]
+        return [StageSpec("baseline"), StageSpec("ilp", objective)]
+    if base in ("dac", "divide-and-conquer", "divide_and_conquer"):
+        stages = [StageSpec("dac")]
+        return stages + [StageSpec("refine")] if refined else stages
+    scheduler, sep, policy = base.partition("+")
+    if sep and scheduler in TWO_STAGE_SCHEDULERS and policy in TWO_STAGE_POLICIES:
+        stages = [StageSpec(scheduler, (("policy", policy),))]
+        return stages + [StageSpec("refine")] if refined else stages
+    return None
+
+
+def legacy_member_names() -> List[str]:
+    """Every legacy member name (base members first, then refined variants)."""
+    members = [
+        f"{scheduler}+{policy}"
+        for scheduler in TWO_STAGE_SCHEDULERS
+        for policy in TWO_STAGE_POLICIES
+    ]
+    members += ["ilp", "dac"]
+    return members + [member + REFINE_SUFFIX for member in members]
+
+
+#: Legacy member name -> canonical pipeline spec string.
+LEGACY_MEMBER_SPECS: Dict[str, str] = {}
+
+
+def _build_legacy_table() -> None:
+    for member in legacy_member_names():
+        stages = _legacy_member_stages(member)
+        assert stages is not None
+        LEGACY_MEMBER_SPECS[member] = PipelineSpec(tuple(stages)).canonical()
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def _parse_stage_token(token: str, spec_text: str) -> StageSpec:
+    token = token.strip()
+    if not token:
+        raise ConfigurationError(
+            f"empty stage in pipeline spec {spec_text!r}; write 'a|b|c' with "
+            f"one registered stage per segment"
+        )
+    options: List[Tuple[str, str]] = []
+    name = token
+    if "(" in token:
+        name, _, rest = token.partition("(")
+        if not rest.endswith(")"):
+            raise ConfigurationError(
+                f"malformed stage options in {token!r} (expected "
+                f"'name(key=value,...)')"
+            )
+        body = rest[:-1].strip()
+        if body:
+            for item in body.split(","):
+                key, sep, value = item.partition("=")
+                if not sep or not key.strip() or not value.strip():
+                    raise ConfigurationError(
+                        f"malformed stage option {item.strip()!r} in {token!r} "
+                        f"(expected 'key=value')"
+                    )
+                options.append((key.strip().lower(), value.strip().lower()))
+    name = name.strip().lower()
+    if "+" in name:
+        scheduler, _, policy = name.partition("+")
+        if any(key == "policy" for key, _ in options):
+            raise ConfigurationError(
+                f"stage {token!r} names a policy twice (shorthand and option)"
+            )
+        options.append(("policy", policy.strip()))
+        name = scheduler.strip()
+    # resolve aliases to the canonical name (and fail early on unknowns)
+    factory = get_stage_factory(name)
+    spec = StageSpec(factory.name, tuple(sorted(options)))
+    spec.build()  # validate the options eagerly, at parse time
+    return spec
+
+
+def parse(text: str) -> PipelineSpec:
+    """Parse a pipeline spec (or a legacy member name) into a PipelineSpec.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` for unknown stages,
+    malformed options, or a stage needing an incumbent with nothing before
+    it (in which case the ``baseline`` stage is auto-prepended instead of
+    failing, matching the documented grammar).
+    """
+    if not str(text).strip():
+        raise ConfigurationError("empty pipeline spec")
+    text = str(text).strip()
+    if "|" not in text:
+        legacy = _legacy_member_stages(text)
+        if legacy is not None:
+            return PipelineSpec(tuple(legacy))
+    stages = [_parse_stage_token(token, text) for token in text.split("|")]
+    # auto-prepend the baseline when the first stage consumes an incumbent
+    if stages and stages[0].build().requires_incumbent:
+        stages.insert(0, StageSpec("baseline"))
+    return PipelineSpec(tuple(stages))
+
+
+def canonicalize(text: str) -> str:
+    """The canonical spelling of a pipeline spec or legacy member name."""
+    return parse(text).canonical()
+
+
+def is_pipeline_spec(text: str) -> bool:
+    """Whether ``text`` parses as a pipeline spec (or legacy member name)."""
+    try:
+        parse(text)
+        return True
+    except ConfigurationError:
+        return False
+
+
+_build_legacy_table()

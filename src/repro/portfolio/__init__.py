@@ -1,13 +1,16 @@
 """Scheduler portfolio: evaluate several pipelines, keep the best per instance.
 
-Public API: :class:`Portfolio`, :class:`PortfolioResult`,
-:func:`run_member`, :data:`DEFAULT_MEMBERS`, :data:`PRUNABLE_MEMBERS`,
+Members are pipeline specs (see :mod:`repro.pipeline`); the legacy member
+names remain valid aliases (:data:`MEMBER_SPECS` pins each to its canonical
+spec).  Public API: :class:`Portfolio`, :class:`PortfolioResult`,
+:func:`run_member`, :func:`resolve_member`, :data:`DEFAULT_MEMBERS`,
 :func:`available_members`, :func:`is_pruned` and
 :func:`format_portfolio_table`.
 """
 
 from repro.portfolio.members import (
     DEFAULT_MEMBERS,
+    MEMBER_SPECS,
     PRUNABLE_MEMBERS,
     PRUNED_STATUS_PREFIX,
     REFINE_SUFFIX,
@@ -16,6 +19,8 @@ from repro.portfolio.members import (
     is_pruned,
     is_prunable_member,
     is_refined_member,
+    member_descriptions,
+    resolve_member,
     run_member,
     schedule_digest,
 )
@@ -23,6 +28,7 @@ from repro.portfolio.portfolio import Portfolio, PortfolioResult, format_portfol
 
 __all__ = [
     "DEFAULT_MEMBERS",
+    "MEMBER_SPECS",
     "PRUNABLE_MEMBERS",
     "PRUNED_STATUS_PREFIX",
     "REFINE_SUFFIX",
@@ -31,6 +37,8 @@ __all__ = [
     "is_pruned",
     "is_prunable_member",
     "is_refined_member",
+    "member_descriptions",
+    "resolve_member",
     "run_member",
     "schedule_digest",
     "Portfolio",

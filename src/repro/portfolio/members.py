@@ -1,96 +1,132 @@
-"""Portfolio members: named scheduler pipelines runnable on any instance.
+"""Portfolio members: declarative pipeline specs executed by one runner.
 
-A *member* is a string naming one complete scheduling pipeline:
+A *member* names one complete scheduling pipeline.  Since the
+:mod:`repro.pipeline` redesign a member is simply a **pipeline spec** (see
+:mod:`repro.pipeline.spec` for the ``"stage|stage|..."`` grammar); the
+historical member names all remain valid and are pinned to the pipelines
+that reproduce their historical behaviour exactly:
 
 * ``"<first-stage>+<policy>"`` — a two-stage pipeline, e.g.
   ``"bspg+clairvoyant"``, ``"cilk+lru"``, ``"etf+clairvoyant"`` or
   ``"dfs+clairvoyant"`` (the latter only applies to ``P = 1`` instances);
-* ``"ilp"`` — the holistic ILP scheduler warm-started from the baseline;
-* ``"dac"`` — the divide-and-conquer ILP for larger DAGs.
+* ``"ilp"`` — the holistic ILP scheduler warm-started from the baseline
+  (canonically ``"baseline|ilp(warm=objective)"``);
+* ``"dac"`` — the divide-and-conquer ILP for larger DAGs;
+* ``"<member>+refine"`` — the member's schedule post-optimized by the
+  local-search refinement engine (``"ilp+refine"`` refines the baseline,
+  seeds the ILP with the refined incumbent and refines the solver's best).
+
+Anything else is parsed as a pipeline spec, so new members are one-line
+specs — ``"bspg+clairvoyant|refine|ilp"`` chains a heuristic, local search
+and the exact ILP (fed the refined schedule as a full warm-start solution)
+without any new dispatch code.
 
 :func:`run_member` evaluates one member on one instance and reports the
-achieved :func:`~repro.model.cost.schedule_cost` as an
-:class:`~repro.experiments.runner.InstanceResult` (both cost fields carry
-the member's cost; ``extra_costs["member_cost"]`` repeats it for table
-code).  For deterministic members the ``solver_status`` field carries a
-digest of the produced schedule, so callers can assert two runs produced
-*bit-identical* schedules, not merely equal costs.  Members that do not
-apply to an instance (e.g. ``dfs`` with ``P > 1``) report an infinite cost
-instead of failing the whole sweep.
+achieved cost as an :class:`~repro.experiments.runner.InstanceResult` (both
+cost fields carry the member's cost; ``extra_costs["member_cost"]`` repeats
+it for table code).  For deterministic members the ``solver_status`` field
+carries a digest of the produced schedule, so callers can assert two runs
+produced *bit-identical* schedules, not merely equal costs.  Members that do
+not apply to an instance (e.g. ``dfs`` with ``P > 1``) report an infinite
+cost instead of failing the whole sweep.
 
-**Bound-aware pruning** (``prune_gap``): for the warm-started holistic
-``ilp`` member the two-stage baseline cost is compared against the
-:func:`repro.theory.bounds.instance_lower_bound` of the instance first.
-When ``baseline <= (1 + prune_gap) * bound`` the baseline is provably
-near-optimal and the (expensive) ILP solve is skipped entirely: the member
-reports the baseline cost, the skip reason lands in ``solver_status``
-(prefix ``"skipped:"``) and ``extra_costs`` carries ``lower_bound`` and
-``pruned = 1.0``.  At the default gap ``0.0`` a skip requires the baseline
-to *match* the bound, so pruning can never change the member's reported
-cost: the warm-started ILP would have returned the baseline anyway.  The
-``dac`` member is deliberately *not* pruned — its contract is to report the
-divide-and-conquer schedule as-is (which may differ from the baseline in
-either direction), so substituting the baseline would change results.
+**Bound-aware pruning** (``prune_gap``) is decided per stage by the pipeline
+runner: before a prunable stage (``ilp``, ``refine``) runs, the incumbent
+cost is compared against :func:`repro.theory.bounds.instance_lower_bound`,
+and the stage is skipped when the incumbent is provably within the gap of
+optimal (the skip reason lands in ``solver_status`` with the ``"skipped:"``
+prefix, and ``extra_costs`` carries ``lower_bound`` and ``pruned = 1.0``).
+At the default gap ``0.0`` a skip requires the incumbent to *match* the
+bound, so pruning can never change the member's reported cost.  The ``dac``
+stage is deliberately not prunable — its contract is to report the
+divide-and-conquer schedule as-is.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.dag.graph import ComputationalDag
 from repro.exceptions import ConfigurationError
-from repro.experiments.runner import (
-    ExperimentConfig,
-    InstanceResult,
-    run_divide_and_conquer,
-    run_divide_and_conquer_instance,
-    run_instance,
+from repro.experiments.runner import ExperimentConfig, InstanceResult
+from repro.pipeline import (
+    LEGACY_MEMBER_SPECS,
+    PRUNED_STATUS_PREFIX,
+    REFINE_SUFFIX,
+    Pipeline,
+    canonicalize,
+    legacy_member_names,
+    parse,
+    schedule_digest,
 )
-from repro.core.scheduler import MbspIlpScheduler
-from repro.core.two_stage import TwoStageResult, baseline_schedule, run_two_stage
-from repro.model.schedule import MbspSchedule
-from repro.model.serialization import schedule_to_dict
-from repro.refine import Refiner
-from repro.theory.bounds import instance_lower_bound
+from repro.pipeline.stages import TWO_STAGE_POLICIES, TWO_STAGE_SCHEDULERS
+
+__all__ = [
+    "DEFAULT_MEMBERS",
+    "MEMBER_SPECS",
+    "PRUNABLE_MEMBERS",
+    "PRUNED_STATUS_PREFIX",
+    "REFINE_SUFFIX",
+    "TWO_STAGE_POLICIES",
+    "TWO_STAGE_SCHEDULERS",
+    "available_members",
+    "base_member_name",
+    "is_pruned",
+    "is_prunable_member",
+    "is_refined_member",
+    "member_descriptions",
+    "resolve_member",
+    "run_member",
+    "schedule_digest",
+]
 
 #: The default portfolio evaluated by :class:`repro.portfolio.Portfolio`.
 DEFAULT_MEMBERS = ("bspg+clairvoyant", "cilk+lru", "ilp")
 
-#: Suffix naming the refined variant of any base member: the base pipeline
-#: runs first and its schedule is post-optimized by :mod:`repro.refine`.
-REFINE_SUFFIX = "+refine"
+#: Legacy member name -> canonical pipeline spec (the declarative member
+#: table; every entry is executed by the generic :class:`Pipeline` runner).
+MEMBER_SPECS: Dict[str, str] = dict(LEGACY_MEMBER_SPECS)
 
-#: Members supporting bound-aware pruning: the warm-started holistic ILP,
-#: whose keep-the-baseline semantics make a skip provably cost-neutral.
-#: Refined members are *also* prunable (refinement never increases cost, so
-#: at gap 0 a bound-matching base schedule cannot be improved) — use
-#: :func:`is_prunable_member` rather than this legacy tuple.
+#: Members supporting bound-aware pruning (legacy tuple; prefer
+#: :func:`is_prunable_member`, which also understands pipeline specs).
 PRUNABLE_MEMBERS = ("ilp",)
-
-#: ``solver_status`` prefix of results whose ILP solve was pruned.
-PRUNED_STATUS_PREFIX = "skipped:"
-
-#: All first-stage/policy combinations exposed as two-stage members.
-TWO_STAGE_SCHEDULERS = ("bspg", "cilk", "etf", "dfs", "bsp-ilp")
-TWO_STAGE_POLICIES = ("clairvoyant", "lru", "fifo")
 
 
 def available_members() -> List[str]:
-    """Every member name understood by :func:`run_member`.
+    """Every legacy member name understood by :func:`run_member`.
 
     Every base member also exists in a ``"<member>+refine"`` variant that
-    post-optimizes the base schedule with the local-search refinement engine.
+    post-optimizes the base schedule with the local-search refinement
+    engine.  Beyond these names, any pipeline spec
+    (``"bspg+clairvoyant|refine|ilp"``; see :mod:`repro.pipeline.spec`) is a
+    valid member too.
     """
-    members = [
-        f"{scheduler}+{policy}"
-        for scheduler in TWO_STAGE_SCHEDULERS
-        for policy in TWO_STAGE_POLICIES
-    ]
-    members += ["ilp", "dac"]
-    return members + [member + REFINE_SUFFIX for member in members]
+    return legacy_member_names()
+
+
+def member_descriptions() -> List[Tuple[str, str]]:
+    """``(member, canonical spec)`` for every legacy member name."""
+    return [(member, MEMBER_SPECS[member]) for member in available_members()]
+
+
+def resolve_member(member: str) -> str:
+    """Canonical pipeline spec for a member name or raw spec.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` for names that are
+    neither a known member nor a parseable pipeline spec, listing both the
+    member names and the registered stages.
+    """
+    try:
+        return canonicalize(member)
+    except ConfigurationError as exc:
+        from repro.pipeline import available_stages
+
+        raise ConfigurationError(
+            f"unknown portfolio member {member!r} ({exc}); expected one of "
+            f"the member names {available_members()} or a pipeline spec "
+            f"'stage|stage|...' over the stages {available_stages()} "
+            f"(see 'repro pipeline list')"
+        ) from None
 
 
 def is_refined_member(member: str) -> bool:
@@ -107,211 +143,20 @@ def base_member_name(member: str) -> str:
 def is_prunable_member(member: str) -> bool:
     """Whether bound-aware pruning may skip work for ``member`` cost-neutrally.
 
-    True for the warm-started holistic ``ilp`` (skipping the solve keeps the
-    baseline, which the member would have reported anyway) and for every
-    refined member (refinement never decreases below the lower bound and
-    never increases cost, so a bound-matching base schedule is returned
-    unchanged either way).
+    True exactly when the member's pipeline contains a prunable stage
+    (``ilp`` or ``refine``): skipping such a stage keeps the incumbent,
+    which the stage could not have improved on a bound-matching instance.
     """
-    name = member.strip().lower()
-    return name == "ilp" or name.endswith(REFINE_SUFFIX)
-
-
-def schedule_digest(schedule: MbspSchedule) -> str:
-    """Short stable digest of a schedule's exact superstep structure."""
-    blob = json.dumps(schedule_to_dict(schedule), sort_keys=True, default=repr)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+    try:
+        spec = parse(member)
+    except ConfigurationError:
+        return False
+    return any(stage.prunable for stage in spec.build_stages())
 
 
 def is_pruned(result: InstanceResult) -> bool:
-    """Whether ``result`` reports a bound-pruned (skipped) ILP solve."""
+    """Whether ``result`` reports bound-pruned (skipped) pipeline stages."""
     return result.solver_status.startswith(PRUNED_STATUS_PREFIX)
-
-
-def _within_gap(cost: float, bound: float, prune_gap: float) -> bool:
-    """The bound-pruning predicate: ``cost`` provably within the gap of optimal."""
-    return cost <= (1.0 + prune_gap) * bound + 1e-9
-
-
-def _run_ilp_member(
-    dag: ComputationalDag, config: ExperimentConfig, prune_gap: Optional[float]
-) -> InstanceResult:
-    """The holistic ILP member, with optional bound-aware pruning.
-
-    When pruning is enabled the instance and baseline materialized for the
-    bound check are reused by the ILP run, so the check itself costs only
-    the (cheap) lower-bound evaluation.
-    """
-    if prune_gap is None or prune_gap < 0:
-        return run_instance(dag, config)
-    instance = config.instance_for(dag)
-    bound = instance_lower_bound(instance, synchronous=config.synchronous)
-    base = baseline_schedule(instance, synchronous=config.synchronous, seed=config.seed)
-    if not _within_gap(base.cost, bound, prune_gap):
-        return run_instance(dag, config, instance=instance, baseline=base)
-    reason = (
-        f"{PRUNED_STATUS_PREFIX} baseline cost {base.cost:g} is within "
-        f"{prune_gap:.1%} of the lower bound {bound:g}; ILP solve pruned"
-    )
-    return InstanceResult(
-        instance_name=dag.name,
-        num_nodes=dag.num_nodes,
-        baseline_cost=base.cost,
-        ilp_cost=base.cost,
-        solver_status=reason,
-        extra_costs={"member_cost": base.cost, "lower_bound": bound, "pruned": 1.0},
-    )
-
-
-def _two_stage_member(
-    dag: ComputationalDag,
-    config: ExperimentConfig,
-    scheduler: str,
-    policy: str,
-    instance=None,
-):
-    """Run one two-stage pipeline; shared by base and refined members."""
-    if instance is None:
-        instance = config.instance_for(dag)
-    bsp_ilp_config = None
-    if scheduler in ("bsp-ilp", "bsp_ilp", "ilp"):
-        # the first-stage ILP must honour the configured backend and budgets:
-        # the engine's job hash covers them, so solving with anything else
-        # would poison backend-comparison sweeps through the result cache
-        from repro.bsp.ilp import BspIlpConfig
-        from repro.ilp import SolverOptions
-
-        bsp_ilp_config = BspIlpConfig(
-            solver_options=SolverOptions(
-                time_limit=config.ilp_time_limit, node_limit=config.ilp_node_limit
-            ),
-            backend=config.ilp_backend,
-        )
-    return run_two_stage(
-        instance,
-        scheduler=scheduler,
-        policy=policy or None,
-        synchronous=config.synchronous,
-        seed=config.seed,
-        bsp_ilp_config=bsp_ilp_config,
-    ), instance
-
-
-def _inapplicable_result(dag: ComputationalDag, exc: Exception) -> InstanceResult:
-    """Members that do not apply (e.g. dfs with P > 1) report infinite cost."""
-    return InstanceResult(
-        instance_name=dag.name,
-        num_nodes=dag.num_nodes,
-        baseline_cost=math.inf,
-        ilp_cost=math.inf,
-        solver_status=f"inapplicable: {exc}",
-        extra_costs={"member_cost": math.inf},
-    )
-
-
-def _run_refined_member(
-    dag: ComputationalDag,
-    config: ExperimentConfig,
-    member: str,
-    prune_gap: Optional[float],
-) -> InstanceResult:
-    """A ``"<base>+refine"`` member: run the base pipeline, then local search.
-
-    Bound-aware pruning (same logic as the ``ilp`` member): when the
-    relevant incumbent is provably within ``prune_gap`` of the instance
-    lower bound, the remaining work is skipped — for ``ilp+refine`` that is
-    the whole refine-and-solve tail (the two-stage baseline stands), for
-    other members just the refinement pass (the base schedule stands).
-    Refinement never increases cost, so at the default gap ``0.0`` a skip
-    is provably cost-neutral.
-
-    The ``ilp+refine`` member demonstrates the intended production pipeline:
-    the *refined* baseline seeds the holistic ILP (as its warm-start
-    incumbent), and the solver's best schedule is refined once more.
-    """
-    base = base_member_name(member)
-    prune = prune_gap is not None and prune_gap >= 0
-    refiner = Refiner(config.refine)
-
-    def refined_result(
-        schedule: MbspSchedule, unrefined_cost: float, baseline_cost: float
-    ) -> InstanceResult:
-        refined = refiner.refine(schedule, synchronous=config.synchronous)
-        cost = min(refined.final_cost, unrefined_cost)
-        return InstanceResult(
-            instance_name=dag.name,
-            num_nodes=dag.num_nodes,
-            baseline_cost=baseline_cost,
-            ilp_cost=cost,
-            solver_status=f"schedule:{schedule_digest(refined.schedule)}",
-            extra_costs={"member_cost": cost, **refined.telemetry(unrefined_cost)},
-        )
-
-    def pruned_result(cost: float, bound: float) -> InstanceResult:
-        reason = (
-            f"{PRUNED_STATUS_PREFIX} base cost {cost:g} is within "
-            f"{prune_gap:.1%} of the lower bound {bound:g}; refinement pruned"
-        )
-        return InstanceResult(
-            instance_name=dag.name,
-            num_nodes=dag.num_nodes,
-            baseline_cost=cost,
-            ilp_cost=cost,
-            solver_status=reason,
-            extra_costs={"member_cost": cost, "lower_bound": bound, "pruned": 1.0},
-        )
-
-    # the instance is only materialized when a branch actually needs it, and
-    # the lower bound only for the branches that prune before running (the
-    # two-stage branch defers it until the member proved applicable)
-    instance = config.instance_for(dag) if (prune or base == "ilp") else None
-    bound = None
-    if prune and (base == "ilp" or base in ("dac", "divide-and-conquer")):
-        bound = instance_lower_bound(instance, synchronous=config.synchronous)
-
-    if base == "ilp":
-        baseline = baseline_schedule(
-            instance, synchronous=config.synchronous, seed=config.seed
-        )
-        if prune and _within_gap(baseline.cost, bound, prune_gap):
-            return pruned_result(baseline.cost, bound)
-        refined_base = refiner.refine(
-            baseline.mbsp_schedule, synchronous=config.synchronous
-        )
-        # seed the holistic ILP with the refined incumbent: the solver only
-        # searches for schedules strictly better than the refined baseline
-        seeded = TwoStageResult(
-            bsp_schedule=baseline.bsp_schedule,
-            mbsp_schedule=refined_base.schedule,
-            cost=refined_base.final_cost,
-            scheduler_name=f"{baseline.scheduler_name}+refine",
-            policy_name=baseline.policy_name,
-        )
-        ilp = MbspIlpScheduler(config.ilp_config()).schedule(instance, baseline=seeded)
-        result = refined_result(ilp.best_schedule, ilp.best_cost, baseline.cost)
-        result.solver_status = f"{ilp.solver_status}; {result.solver_status}"
-        result.solve_time = ilp.solve_time
-        return result
-    if base in ("dac", "divide-and-conquer"):
-        dac = run_divide_and_conquer(dag, config, instance=instance)
-        if prune and _within_gap(dac.dac_cost, bound, prune_gap):
-            result = pruned_result(dac.dac_cost, bound)
-            result.baseline_cost = dac.baseline.cost
-            return result
-        result = refined_result(dac.dac_schedule, dac.dac_cost, dac.baseline.cost)
-        result.extra_costs["parts"] = float(dac.partition.num_parts)
-        return result
-    scheduler, _, policy = base.partition("+")
-    try:
-        two_stage, instance = _two_stage_member(dag, config, scheduler, policy,
-                                                instance=instance)
-    except ConfigurationError as exc:
-        return _inapplicable_result(dag, exc)
-    if prune:
-        bound = instance_lower_bound(instance, synchronous=config.synchronous)
-        if _within_gap(two_stage.cost, bound, prune_gap):
-            return pruned_result(two_stage.cost, bound)
-    return refined_result(two_stage.mbsp_schedule, two_stage.cost, two_stage.cost)
 
 
 def run_member(
@@ -320,41 +165,11 @@ def run_member(
     member: str,
     prune_gap: Optional[float] = None,
 ) -> InstanceResult:
-    """Evaluate one portfolio ``member`` on ``dag`` under ``config``.
+    """Evaluate one portfolio ``member`` (name or pipeline spec) on ``dag``.
 
-    ``prune_gap`` enables bound-aware pruning for the prunable members (the
-    ``ilp`` member and every refined member, see the module docstring);
-    ``None`` (the default) disables it.
+    ``prune_gap`` enables per-stage bound-aware pruning for the prunable
+    stages (see the module docstring); ``None`` (the default) disables it.
     """
-    name = member.strip().lower()
-    if name.endswith(REFINE_SUFFIX):
-        return _run_refined_member(dag, config, name, prune_gap)
-    if name == "ilp":
-        result = _run_ilp_member(dag, config, prune_gap)
-        result.extra_costs["member_cost"] = result.ilp_cost
-        return result
-    if name in ("dac", "divide-and-conquer"):
-        result = run_divide_and_conquer_instance(dag, config)
-        result.extra_costs["member_cost"] = result.ilp_cost
-        return result
-    scheduler, sep, policy = name.partition("+")
-    if not sep:
-        raise ConfigurationError(
-            f"unknown portfolio member {member!r}; "
-            f"expected 'ilp', 'dac' or '<scheduler>+<policy>' "
-            f"(see repro.portfolio.available_members())"
-        )
-    try:
-        two_stage, _ = _two_stage_member(dag, config, scheduler, policy)
-    except ConfigurationError as exc:
-        # e.g. the DFS first stage on a multi-processor instance: the member
-        # simply does not compete on this instance
-        return _inapplicable_result(dag, exc)
-    return InstanceResult(
-        instance_name=dag.name,
-        num_nodes=dag.num_nodes,
-        baseline_cost=two_stage.cost,
-        ilp_cost=two_stage.cost,
-        solver_status=f"schedule:{schedule_digest(two_stage.mbsp_schedule)}",
-        extra_costs={"member_cost": two_stage.cost},
-    )
+    pipeline = Pipeline(resolve_member(member))
+    gap = prune_gap if prune_gap is not None and prune_gap >= 0 else None
+    return pipeline.run(dag, config, prune_gap=gap).to_instance_result()

@@ -16,18 +16,28 @@ All engine features apply: ``workers=N`` parallelises over processes,
 ``cache_dir`` makes repeated sweeps free, and ``results_path``/``resume``
 stream and resume long sweeps.
 
-Two knobs make the expensive members cheaper or avoidable:
+Members are **pipeline specs** (:mod:`repro.pipeline`): legacy names like
+``"ilp"`` or ``"bspg+clairvoyant+refine"`` and raw specs like
+``"bspg+clairvoyant|refine|ilp"`` are equally valid; jobs are hashed under
+the canonical spec, so two spellings of one pipeline share a cache entry.
+
+Three mechanisms make the expensive members cheaper or avoidable:
 
 * ``config.ilp_backend`` selects the ILP solver backend per job
   (``scipy``/``bnb``/``auto``, see :mod:`repro.ilp.backends`);
-* ``prune_gap`` enables *bound-aware pruning*: before the warm-started
-  ``ilp`` member is solved, its baseline cost is compared against the
-  instance's :func:`~repro.theory.bounds.instance_lower_bound`, and the
-  solve is skipped (reporting the baseline cost plus a ``skipped:`` status)
-  when the baseline is provably within the gap of optimal.  The default gap
-  ``0.0`` only skips *provably optimal* baselines and therefore never
+* ``prune_gap`` enables *bound-aware pruning*, decided per pipeline stage:
+  before a prunable stage (``ilp``, ``refine``) runs, the incumbent cost is
+  compared against the instance's
+  :func:`~repro.theory.bounds.instance_lower_bound`, and the stage is
+  skipped (reporting the incumbent cost plus a ``skipped:`` status) when
+  the incumbent is provably within the gap of optimal.  The default gap
+  ``0.0`` only skips *provably optimal* incumbents and therefore never
   changes the portfolio's best costs; ``prune_gap=None`` disables pruning
   entirely.  (``dac`` is never pruned: it reports its schedule as-is.)
+* *shared-prefix reuse*: members with a common stage prefix (``"m"`` and
+  ``"m|refine"``) evaluate it once per instance within a run; the savings
+  appear in the table footer (``format_portfolio_table(rows,
+  reuse=portfolio.last_reuse)``).
 """
 
 from __future__ import annotations
@@ -40,11 +50,12 @@ from repro.dag.graph import ComputationalDag
 from repro.exceptions import ConfigurationError
 from repro.experiments.parallel import ExperimentEngine, ExperimentJob
 from repro.experiments.runner import ExperimentConfig, InstanceResult
+from repro.pipeline import StageReuseStats, stage_reuse_scope
 from repro.portfolio.members import (
     DEFAULT_MEMBERS,
     PRUNED_STATUS_PREFIX,
-    available_members,
     is_prunable_member,
+    resolve_member,
 )
 
 
@@ -105,6 +116,8 @@ class Portfolio:
         # skips only provably optimal baselines (cost-neutral by construction),
         # None disables pruning
         self.prune_gap = prune_gap
+        #: shared-prefix reuse statistics of the most recent :meth:`run`
+        self.last_reuse: Optional[StageReuseStats] = None
 
     def run(
         self,
@@ -123,12 +136,11 @@ class Portfolio:
         members = list(DEFAULT_MEMBERS) if members is None else list(members)
         if not members:
             raise ConfigurationError("a portfolio needs at least one member")
-        known = set(available_members())
-        for member in members:
-            if member not in known:
-                raise ConfigurationError(
-                    f"unknown portfolio member {member!r}; available: {sorted(known)}"
-                )
+        # members may be legacy names or raw pipeline specs; jobs are
+        # submitted (and hashed, and disk-cached) under the *canonical* spec,
+        # so two spellings of the same pipeline share one cache entry
+        canonical = {member: resolve_member(member) for member in members}
+        prunable = {member: is_prunable_member(member) for member in canonical}
         if engine is None:
             engine = ExperimentEngine(
                 workers=self.workers if workers is None else workers,
@@ -138,18 +150,23 @@ class Portfolio:
             )
         dags = list(dags)
         jobs = [
-            ExperimentJob.make("portfolio", dag, self.config, member=member, **(
-                # only prunable members (ilp, "...+refine") understand the
-                # parameter; keeping it off the other jobs keeps their cache
-                # keys stable
+            ExperimentJob.make("portfolio", dag, self.config, member=canonical[member], **(
+                # only members with prunable stages (ilp/refine) understand
+                # the parameter; keeping it off the other jobs keeps their
+                # cache keys stable
                 {"prune_gap": self.prune_gap}
-                if self.prune_gap is not None and is_prunable_member(member)
+                if self.prune_gap is not None and prunable[member]
                 else {}
             ))
             for dag in dags
             for member in members
         ]
-        flat = engine.run(jobs)
+        # shared-prefix reuse: members with a common stage prefix (e.g. "m"
+        # and "m|refine") evaluate it once per instance when jobs execute in
+        # this process; the scope's stats feed the table footer
+        with stage_reuse_scope() as reuse:
+            flat = engine.run(jobs)
+        self.last_reuse = reuse.stats
 
         out: List[PortfolioResult] = []
         for i, dag in enumerate(dags):
@@ -166,11 +183,16 @@ class Portfolio:
         return out
 
 
-def format_portfolio_table(results: Sequence[PortfolioResult]) -> str:
+def format_portfolio_table(
+    results: Sequence[PortfolioResult],
+    reuse: Optional[StageReuseStats] = None,
+) -> str:
     """Fixed-width text rendering of a portfolio run (one row per instance).
 
     Costs of members whose ILP solve was skipped by bound-aware pruning are
-    marked with ``*`` and summarised in a footer line.
+    marked with ``*`` and summarised in a footer line; pass the run's
+    :class:`~repro.pipeline.StageReuseStats` (``Portfolio.last_reuse``) to
+    also report the solver calls saved by shared-prefix reuse.
     """
     members: List[str] = []
     for row in results:
@@ -202,4 +224,6 @@ def format_portfolio_table(results: Sequence[PortfolioResult]) -> str:
             f"* {total_pruned} ILP solve(s) skipped by bound pruning "
             f"(baseline provably near-optimal)"
         )
+    if reuse is not None and reuse.stages_reused:
+        lines.append(f"= shared-prefix reuse: {reuse.describe()}")
     return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Tests for the schedule -> ILP-variable encoder (repro.core.encoding)."""
+
+import pytest
+
+from repro.core.encoding import encode_schedule_solution, required_encoding_steps
+from repro.core.full_ilp import MbspIlpBuilder, MbspIlpConfig
+from repro.core.scheduler import MbspIlpScheduler
+from repro.core.two_stage import baseline_schedule
+from repro.dag.analysis import assign_random_memory_weights
+from repro.dag.generators import chain_dag, fork_join_dag, spmv
+from repro.ilp import SolverOptions
+from repro.model.cost import synchronous_cost
+from repro.model.instance import make_instance
+from repro.refine import RefineConfig, Refiner
+
+
+def _instances():
+    out = []
+    for name, dag, P in [
+        ("spmv", spmv(3, seed=1), 2),
+        ("chain", chain_dag(5), 1),
+        ("forkjoin", fork_join_dag(width=3, stages=2), 2),
+    ]:
+        assign_random_memory_weights(dag, seed=11)
+        out.append(make_instance(dag, num_processors=P, cache_factor=3.0,
+                                 g=1.0, L=10.0))
+    return out
+
+
+def _schedules(instance):
+    base = baseline_schedule(instance, synchronous=True, seed=0)
+    refined = Refiner(RefineConfig(budget=300)).refine(
+        base.mbsp_schedule, synchronous=True
+    )
+    return [
+        (base.mbsp_schedule, base.cost),
+        (refined.schedule, refined.final_cost),
+    ]
+
+
+class TestEncoding:
+    def test_encodings_are_feasible_with_bounded_objective(self):
+        """Every encoded assignment satisfies the compiled model, and its
+        objective never exceeds the schedule's synchronous cost (merged
+        phases may make it cheaper — it is still the same schedule)."""
+        for instance in _instances():
+            builder = MbspIlpBuilder(instance, config=MbspIlpConfig(synchronous=True))
+            for schedule, cost in _schedules(instance):
+                needed = required_encoding_steps(builder, schedule)
+                assert needed is not None and needed >= 1
+                model, variables = builder.build(needed)
+                encoding = encode_schedule_solution(builder, model, variables, schedule)
+                assert encoding is not None
+                assert encoding.steps_used == needed
+                assert encoding.objective <= cost + 1e-6
+                assert model.compile().is_feasible(encoding.values)
+
+    def test_extra_steps_stay_feasible(self):
+        """Padding with empty steps (states persisting) keeps feasibility."""
+        instance = _instances()[1]  # the chain
+        builder = MbspIlpBuilder(instance, config=MbspIlpConfig(synchronous=True))
+        schedule, _ = _schedules(instance)[0]
+        needed = required_encoding_steps(builder, schedule)
+        model, variables = builder.build(needed + 2)
+        encoding = encode_schedule_solution(builder, model, variables, schedule)
+        assert encoding is not None
+
+    def test_too_few_steps_is_rejected_not_mis_encoded(self):
+        instance = _instances()[0]
+        builder = MbspIlpBuilder(instance, config=MbspIlpConfig(synchronous=True))
+        schedule, _ = _schedules(instance)[0]
+        needed = required_encoding_steps(builder, schedule)
+        model, variables = builder.build(max(1, needed - 1))
+        assert encode_schedule_solution(builder, model, variables, schedule) is None
+
+    def test_unsupported_models_are_rejected(self):
+        instance = _instances()[1]
+        schedule, _ = _schedules(instance)[0]
+        for config in (
+            MbspIlpConfig(synchronous=False),
+            MbspIlpConfig(synchronous=True, use_step_merging=False),
+        ):
+            builder = MbspIlpBuilder(instance, config=config)
+            model, variables = builder.build(6)
+            assert encode_schedule_solution(builder, model, variables, schedule) is None
+
+    def test_objective_equals_cost_on_a_chain(self):
+        """On a single-processor chain with one comm phase per superstep the
+        encoded objective reproduces the synchronous cost exactly."""
+        instance = _instances()[1]
+        builder = MbspIlpBuilder(instance, config=MbspIlpConfig(synchronous=True))
+        schedule, cost = _schedules(instance)[0]
+        assert cost == pytest.approx(synchronous_cost(schedule))
+        needed = required_encoding_steps(builder, schedule)
+        model, variables = builder.build(needed)
+        encoding = encode_schedule_solution(builder, model, variables, schedule)
+        assert encoding.objective == pytest.approx(cost)
+
+
+class TestSchedulerWarmStartModes:
+    def test_solution_mode_with_zero_nodes_keeps_the_incumbent(self):
+        """The crucial difference to the objective-only warm start: with no
+        search budget at all, the bnb backend still returns a solution — the
+        installed incumbent — so the scheduler reports FEASIBLE, not
+        NO_SOLUTION."""
+        instance = _instances()[0]
+        base = baseline_schedule(instance, synchronous=True, seed=0)
+        config = MbspIlpConfig(
+            synchronous=True,
+            warm_start="solution",
+            solver_options=SolverOptions(time_limit=30.0, node_limit=0),
+            backend="bnb",
+        )
+        result = MbspIlpScheduler(config).schedule(instance, baseline=base)
+        assert result.warm_start == "solution"
+        assert result.solver_status == "feasible"
+        assert "warm-start solution kept" in result.solver_message
+        assert result.best_cost <= base.cost
+
+        objective_only = MbspIlpScheduler(
+            MbspIlpConfig(
+                synchronous=True,
+                warm_start="objective",
+                solver_options=SolverOptions(time_limit=30.0, node_limit=0),
+                backend="bnb",
+            )
+        ).schedule(instance, baseline=base)
+        assert objective_only.warm_start == "objective"
+        assert objective_only.solver_status == "no_solution"
+        assert objective_only.best_cost == base.cost
+
+    def test_invalid_warm_start_mode_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="warm_start"):
+            MbspIlpConfig(warm_start="telepathy")

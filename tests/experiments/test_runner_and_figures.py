@@ -65,7 +65,8 @@ class TestExperimentConfig:
         monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
         assert dataset_scale() == "paper"
         monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
-        assert dataset_scale() == "default"
+        with pytest.warns(UserWarning, match="REPRO_BENCH_SCALE"):
+            assert dataset_scale() == "default"
         monkeypatch.setenv("REPRO_BENCH_LIMIT", "3")
         assert dataset_limit() == 3
         monkeypatch.setenv("REPRO_BENCH_LIMIT", "xyz")

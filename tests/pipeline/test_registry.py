@@ -1,0 +1,96 @@
+"""Unit tests for the pipeline stage registry (repro.pipeline.registry)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.pipeline import (
+    StageFactory,
+    available_stages,
+    get_stage_factory,
+    make_stage,
+    register_stage,
+    stage_descriptions,
+)
+from repro.pipeline.registry import _ALIASES, _REGISTRY
+
+
+BUILTIN_STAGES = {"baseline", "bspg", "cilk", "etf", "dfs", "bsp-ilp", "ilp",
+                  "refine", "dac"}
+
+
+class TestBuiltins:
+    def test_builtin_stages_registered(self):
+        assert BUILTIN_STAGES <= set(available_stages())
+
+    def test_every_stage_has_a_description(self):
+        names = dict(stage_descriptions())
+        for stage in BUILTIN_STAGES:
+            assert names[stage]
+
+    def test_aliases_resolve(self):
+        assert get_stage_factory("divide-and-conquer").name == "dac"
+        assert get_stage_factory("divide_and_conquer").name == "dac"
+        assert get_stage_factory("bsp_ilp").name == "bsp-ilp"
+        assert get_stage_factory("DAC").name == "dac"
+
+    def test_unknown_stage_raises_with_listing(self):
+        with pytest.raises(ConfigurationError, match="unknown pipeline stage"):
+            get_stage_factory("quantum")
+
+    def test_make_stage_rejects_unknown_options(self):
+        with pytest.raises(ConfigurationError, match="does not understand"):
+            make_stage("ilp", {"turbo": "on"})
+
+
+class _DummyStage:
+    name = "dummy"
+    requires_incumbent = False
+    prunable = False
+    prune_label = ("cost", "pruned")
+
+    def spec_token(self):
+        return self.name
+
+    def run(self, instance, incumbent, ctx):  # pragma: no cover - unused
+        raise NotImplementedError
+
+
+def _factory(name):
+    return StageFactory(name=name, description="test", build=lambda o: _DummyStage())
+
+
+class TestRegistration:
+    def _cleanup(self, *names):
+        for name in names:
+            _REGISTRY.pop(name, None)
+        for alias in [a for a, target in list(_ALIASES.items()) if target in names]:
+            _ALIASES.pop(alias, None)
+
+    def test_register_and_build(self):
+        try:
+            register_stage(_factory("dummy"), aliases=("dummy-alias",))
+            assert "dummy" in available_stages()
+            assert get_stage_factory("dummy-alias").name == "dummy"
+            assert make_stage("dummy").spec_token() == "dummy"
+        finally:
+            self._cleanup("dummy")
+
+    def test_alias_may_not_shadow_other_stage(self):
+        with pytest.raises(ConfigurationError, match="shadow"):
+            register_stage(_factory("dummy2"), aliases=("ilp",))
+        # the rejected registration left no trace behind
+        assert "dummy2" not in available_stages()
+        assert get_stage_factory("ilp").name == "ilp"
+
+    def test_name_may_not_reuse_existing_alias(self):
+        with pytest.raises(ConfigurationError, match="alias"):
+            register_stage(_factory("divide-and-conquer"))
+
+    def test_reregistering_replaces(self):
+        try:
+            register_stage(_factory("dummy3"))
+            replacement = _factory("dummy3")
+            register_stage(replacement)
+            assert get_stage_factory("dummy3") is replacement
+        finally:
+            self._cleanup("dummy3")

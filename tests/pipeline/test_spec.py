@@ -1,0 +1,128 @@
+"""Unit tests for the pipeline spec mini-language (repro.pipeline.spec)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.pipeline import (
+    LEGACY_MEMBER_SPECS,
+    PipelineSpec,
+    canonicalize,
+    is_pipeline_spec,
+    legacy_member_names,
+    parse,
+)
+
+
+class TestLegacyMemberAliases:
+    """Every legacy member name maps to the pipeline that reproduces it."""
+
+    EXPECTED = {
+        "bspg+clairvoyant": "bspg+clairvoyant",
+        "cilk+lru": "cilk+lru",
+        "dfs+clairvoyant": "dfs+clairvoyant",
+        "bsp-ilp+fifo": "bsp-ilp+fifo",
+        "ilp": "baseline|ilp(warm=objective)",
+        "dac": "dac",
+        "divide-and-conquer": "dac",
+        "bspg+clairvoyant+refine": "bspg+clairvoyant|refine",
+        "ilp+refine": "baseline|refine|ilp(warm=objective)|refine",
+        "dac+refine": "dac|refine",
+    }
+
+    @pytest.mark.parametrize("member,spec", sorted(EXPECTED.items()))
+    def test_member_canonical_spec(self, member, spec):
+        assert canonicalize(member) == spec
+
+    def test_table_covers_every_member(self):
+        assert set(LEGACY_MEMBER_SPECS) == set(legacy_member_names())
+        for member, spec in LEGACY_MEMBER_SPECS.items():
+            assert canonicalize(member) == spec
+
+    def test_legacy_ilp_members_use_the_objective_warm_start(self):
+        """Historical behaviour is pinned: legacy names never get the new
+        warm-start-*solution* default silently."""
+        for member in ("ilp", "ilp+refine"):
+            assert "ilp(warm=objective)" in LEGACY_MEMBER_SPECS[member]
+
+
+class TestParsing:
+    def test_multi_stage_spec(self):
+        spec = parse("bspg+clairvoyant|refine|ilp")
+        assert spec.canonical() == "bspg+clairvoyant|refine|ilp"
+        assert [s.name for s in spec.stages] == ["bspg", "refine", "ilp"]
+
+    def test_whitespace_and_case_insensitive(self):
+        assert (
+            canonicalize("  CILK+LRU |  Refine( Budget=500 ) | ILP ")
+            == "cilk+lru|refine(budget=500)|ilp"
+        )
+
+    def test_options_are_sorted_in_canonical_form(self):
+        assert (
+            canonicalize("refine(strategy=anneal,budget=10)|ilp")
+            == "baseline|refine(budget=10,strategy=anneal)|ilp"
+        )
+
+    def test_default_options_are_omitted(self):
+        assert canonicalize("baseline|ilp(warm=solution)") == "baseline|ilp"
+        assert canonicalize("bspg(policy=clairvoyant)") == "bspg+clairvoyant"
+
+    def test_baseline_auto_prepended_for_incumbent_stages(self):
+        assert canonicalize("refine") == "baseline|refine"
+        assert canonicalize("ilp|refine") == "baseline|ilp|refine"
+
+    def test_dac_aliases(self):
+        assert canonicalize("divide-and-conquer|refine") == "dac|refine"
+        assert canonicalize("dac(max_part_size=10)") == "dac(max_part_size=10)"
+
+    def test_round_trip_is_a_fixed_point(self):
+        for text in (
+            "bspg+clairvoyant|refine|ilp",
+            "ilp+refine",
+            "dac(max_part_size=8,partition_time_limit=2)|refine(seed=3)",
+            "etf+fifo",
+        ):
+            canonical = canonicalize(text)
+            assert canonicalize(canonical) == canonical
+            assert parse(canonical) == parse(canonical)
+
+    def test_is_pipeline_spec(self):
+        assert is_pipeline_spec("bspg+clairvoyant|refine")
+        assert is_pipeline_spec("ilp")
+        assert not is_pipeline_spec("quantum")
+        assert not is_pipeline_spec("")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "quantum",
+            "bspg+warp",                   # unknown policy
+            "bspg+clairvoyant|",           # empty trailing stage
+            "refine(budget)",              # malformed option
+            "refine(budget=-1)",           # invalid value
+            "refine(warp=1)",              # unknown option
+            "ilp(warm=maybe)",             # invalid enum value
+            "bspg+clairvoyant(policy=lru)",  # policy named twice
+            "refine(budget=xyz)",          # non-integer
+            "ilp(warm=objective",          # unbalanced parenthesis
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            parse(text)
+
+    def test_error_names_the_unknown_stage(self):
+        with pytest.raises(ConfigurationError, match="quantum"):
+            parse("bspg+clairvoyant|quantum")
+
+
+def test_pipeline_spec_is_hashable_and_comparable():
+    left = parse("bspg+clairvoyant|refine")
+    right = parse("bspg+clairvoyant | refine")
+    assert left == right
+    assert hash(left) == hash(right)
+    assert isinstance(left, PipelineSpec)

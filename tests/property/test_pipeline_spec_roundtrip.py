@@ -1,0 +1,108 @@
+"""Property tests: the pipeline spec parse -> canonicalize round trip.
+
+For every well-formed spec (random stages, options, spellings, whitespace
+and case), canonicalization must be a *fixed point* of parsing: parsing the
+canonical string yields the same pipeline, and canonicalizing it again
+changes nothing.  This is what makes canonical specs safe to use as engine
+job-hash components and result-cache keys.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline import canonicalize, legacy_member_names, parse
+from repro.pipeline.stages import TWO_STAGE_POLICIES, TWO_STAGE_SCHEDULERS
+
+
+def _two_stage_tokens():
+    return st.builds(
+        lambda s, p: f"{s}+{p}",
+        st.sampled_from(TWO_STAGE_SCHEDULERS),
+        st.sampled_from(TWO_STAGE_POLICIES),
+    )
+
+
+def _refine_tokens():
+    budgets = st.one_of(st.none(), st.integers(min_value=0, max_value=10_000))
+    strategies = st.one_of(st.none(), st.sampled_from(["hill", "anneal"]))
+    seeds = st.one_of(st.none(), st.integers(min_value=0, max_value=99))
+
+    def build(budget, strategy, seed):
+        options = []
+        if budget is not None:
+            options.append(f"budget={budget}")
+        if strategy is not None:
+            options.append(f"strategy={strategy}")
+        if seed is not None:
+            options.append(f"seed={seed}")
+        return "refine" + (f"({','.join(options)})" if options else "")
+
+    return st.builds(build, budgets, strategies, seeds)
+
+
+def _ilp_tokens():
+    return st.sampled_from(["ilp", "ilp(warm=solution)", "ilp(warm=objective)"])
+
+
+def _dac_tokens():
+    return st.builds(
+        lambda alias, size: alias + (f"(max_part_size={size})" if size else ""),
+        st.sampled_from(["dac", "divide-and-conquer"]),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=40)),
+    )
+
+
+def _stage_tokens():
+    return st.one_of(
+        _two_stage_tokens(),
+        st.just("baseline"),
+        _refine_tokens(),
+        _ilp_tokens(),
+        _dac_tokens(),
+    )
+
+
+def _spec_strings():
+    def join(tokens, spaces, upper):
+        sep = " " * spaces + "|" + " " * spaces
+        text = sep.join(tokens)
+        return text.upper() if upper else text
+
+    return st.builds(
+        join,
+        st.lists(_stage_tokens(), min_size=1, max_size=4),
+        st.integers(min_value=0, max_value=2),
+        st.booleans(),
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(_spec_strings())
+def test_canonicalize_is_a_fixed_point(text):
+    canonical = canonicalize(text)
+    assert canonicalize(canonical) == canonical
+
+
+@settings(max_examples=150, deadline=None)
+@given(_spec_strings())
+def test_parse_canonicalize_parse_round_trip(text):
+    spec = parse(text)
+    reparsed = parse(spec.canonical())
+    assert reparsed.canonical() == spec.canonical()
+    # same stages, same options — not merely the same string
+    assert [s.name for s in reparsed.stages] == [s.name for s in spec.stages]
+
+
+@settings(max_examples=150, deadline=None)
+@given(_spec_strings())
+def test_canonical_specs_build_runnable_stage_lists(text):
+    stages = parse(text).build_stages()
+    assert stages
+    # auto-prepended baselines guarantee the first stage needs no incumbent
+    assert not stages[0].requires_incumbent
+
+
+@pytest.mark.parametrize("member", legacy_member_names())
+def test_legacy_member_names_round_trip(member):
+    canonical = canonicalize(member)
+    assert canonicalize(canonical) == canonical

@@ -159,8 +159,10 @@ class TestPortfolioCommand:
         assert "engine:" in out
 
     def test_portfolio_rejects_unknown_member(self):
-        with pytest.raises(Exception):
-            cli.main(["portfolio", "--members", "quantum", "--limit", "1"])
+        # unknown names warn and are skipped; an all-unknown list still fails
+        with pytest.warns(UserWarning, match="ignoring unknown portfolio member"):
+            with pytest.raises(Exception):
+                cli.main(["portfolio", "--members", "quantum", "--limit", "1"])
 
     def test_portfolio_reports_backend_and_pruning(self, capsys):
         exit_code = cli.main([
