@@ -21,12 +21,18 @@ Environment knobs:
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.reporting import format_results_table, write_csv
-from repro.experiments.runner import InstanceResult, _env_float, _env_int, geometric_mean
+from repro.experiments.runner import (
+    InstanceResult,
+    _env_float,
+    _env_int,
+    env_bench_workers,
+    env_cache_dir,
+    geometric_mean,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -42,8 +48,12 @@ def env_limit(default: Optional[int]) -> Optional[int]:
 
 
 def env_workers(default: int = 1) -> int:
-    """Engine worker-process count, overridable through REPRO_BENCH_WORKERS."""
-    return max(1, _env_int("REPRO_BENCH_WORKERS", default) or default)
+    """Engine worker-process count, overridable through REPRO_BENCH_WORKERS.
+
+    Malformed or non-positive values warn and fall back to ``default``
+    (the shared warn-and-fall-back convention of the ``REPRO_*`` knobs).
+    """
+    return env_bench_workers(default)
 
 
 def env_backend() -> str:
@@ -60,12 +70,13 @@ def env_backend() -> str:
 
 def make_engine(workers: Optional[int] = None):
     """An :class:`~repro.experiments.parallel.ExperimentEngine` configured
-    from the environment (REPRO_BENCH_WORKERS, REPRO_CACHE_DIR)."""
+    from the environment (REPRO_BENCH_WORKERS, REPRO_CACHE_DIR, both
+    warn-and-fall-back on invalid values)."""
     from repro.experiments.parallel import ExperimentEngine
 
     return ExperimentEngine(
         workers=env_workers() if workers is None else workers,
-        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+        cache_dir=env_cache_dir(),
     )
 
 

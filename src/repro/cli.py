@@ -1,6 +1,6 @@
 """Command-line interface for the MBSP scheduling library.
 
-Six sub-commands are provided:
+Seven sub-commands are provided:
 
 * ``schedule``   — generate (or load) a DAG, schedule it with a chosen method
   and print costs, validation results and an optional schedule rendering;
@@ -13,6 +13,14 @@ Six sub-commands are provided:
   one DAG and prints per-stage telemetry (cost in/out, wall time, solver
   calls);
 * ``dataset``    — list the benchmark datasets (instance names, sizes, r0);
+* ``exec``       — the unified async execution core (:mod:`repro.exec`):
+  ``exec run`` executes pipeline specs over a dataset through one
+  ``Session``, streaming per-job results as they complete and reducing to
+  the best-per-instance table.  Specs support ``race(a,b,...)`` (concurrent
+  branches, deterministic winner), ``stage@backend`` pins, per-stage
+  ``budget=<s>s`` wall-clock limits (``--budget`` applies a default to
+  every stage) and the ``key={a,b,c}`` sweep syntax expanding to member
+  families;
 * ``experiment`` — run one of the paper's table experiments and print the
   comparison against the paper's reference values;
 * ``portfolio``  — run a scheduler portfolio over a dataset and report the
@@ -215,7 +223,7 @@ def _cmd_refine(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline_list(args: argparse.Namespace) -> int:
-    from repro.pipeline import stage_descriptions
+    from repro.pipeline import EXAMPLE_RACE_SPECS, stage_descriptions
     from repro.portfolio import member_descriptions
 
     print("registered pipeline stages (compose with '|'):")
@@ -228,12 +236,24 @@ def _cmd_pipeline_list(args: argparse.Namespace) -> int:
     print()
     print('spec grammar: stage["("key=value,...")"] joined by "|", e.g. '
           '"bspg+clairvoyant|refine|ilp"')
+    print("  stage@backend   pins one stage's ILP backend, e.g. 'ilp@bnb'")
+    print("  budget=<s>s     wall-clock stage budget (note the 's'), "
+          "e.g. 'ilp(budget=2s)'")
+    print("  race(a,b,...)   concurrent branch race; deterministic winner "
+          "(cost, then canonical branch order)")
+    print("  key={a,b,c}     sweep syntax: --pipeline expands to one member "
+          "per value, e.g. 'dac(max_part_size={2,4,8})'")
+    print()
+    print("example race members:")
+    for label, spec in EXAMPLE_RACE_SPECS.items():
+        print(f"  {label:<18s} {spec}")
     return 0
 
 
 def _cmd_pipeline_run(args: argparse.Namespace) -> int:
+    from repro.exec import Session
     from repro.experiments.runner import ExperimentConfig
-    from repro.pipeline import Pipeline
+    from repro.pipeline import canonicalize, with_default_budget
     from repro.portfolio import resolve_member
 
     dag = _build_dag(args)
@@ -252,10 +272,15 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
         refine=_refine_config_from_args(args, enabled=False),
         **_backend_kwargs(args),
     )
-    pipeline = Pipeline(resolve_member(args.spec))
-    print(f"canonical spec: {pipeline.canonical}")
+    spec = resolve_member(args.spec)
+    if getattr(args, "budget", None) is not None:
+        spec = with_default_budget(spec, args.budget)
+    print(f"canonical spec: {canonicalize(spec)}")
     prune_gap = None if args.no_prune else args.prune_gap
-    result = pipeline.run(dag, config, prune_gap=prune_gap)
+    # the session grants its worker slots to the pipeline, so race(...)
+    # stages fan their branches out over --workers threads
+    session = Session(workers=getattr(args, "workers", 1))
+    result = session.run_pipeline(spec, dag, config, prune_gap=prune_gap)
     print(result.describe())
     if result.applicable and result.schedule is not None:
         validate_schedule(result.schedule, require_all_computed=False)
@@ -361,34 +386,28 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
             print(f"  {member:<28s} {spec}")
         print("any pipeline spec is a valid member too "
               "(see 'repro pipeline list' for the stages)")
+        print("sweep syntax: --pipeline 'dac(max_part_size={2,4,8})' expands "
+              "to one member per value (cartesian across several sweeps)")
+        print("races: --pipeline 'baseline|race(ilp@bnb,ilp@scipy)' — "
+              "deterministic winner, losers cancelled; budget=<s>s adds "
+              "wall-clock stage budgets")
         return 0
 
     members = [m.strip() for m in args.members.split(",") if m.strip()] \
         if args.members else list(DEFAULT_MEMBERS)
-    members += [spec.strip() for spec in (args.pipeline or []) if spec.strip()]
+    # --pipeline accepts full specs including race(...), budget=<s>s and the
+    # sweep syntax key={a,b,c}, which expands to one member per combination
+    members += _expand_pipeline_specs(args.pipeline, _warnings)
     # unknown member names warn and are skipped (matching the REPRO_* env
     # knob convention) so one typo cannot fail a long sweep — validated
     # before the --refine expansion, so a typo warns once, not twice; an
     # all-unknown list is still an error
-    valid = []
-    resolved = {}
-    for member in members:
-        try:
-            resolved[member] = resolve_member(member)
-            valid.append(member)
-        except ConfigurationError:
-            _warnings.warn(
-                f"ignoring unknown portfolio member {member!r}; see "
-                f"'repro portfolio --list-members' and 'repro pipeline list'",
-                UserWarning,
-                stacklevel=2,
-            )
-    if not valid:
+    members, resolved = _validate_members(members, _warnings)
+    if not members:
         raise ConfigurationError(
             "no valid portfolio members left after skipping unknown names; "
             "see 'repro portfolio --list-members'"
         )
-    members = valid
     if args.refine:
         from repro.pipeline import parse as parse_spec
 
@@ -443,6 +462,141 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         print(f"bound pruning: {pruned} ILP solve(s) skipped (gap {prune_gap:g})")
     print(f"ilp backend: {config.ilp_backend}")
     print(f"engine: {engine.stats.describe()}")
+    return 0
+
+
+def _expand_pipeline_specs(specs, _warnings) -> List[str]:
+    """Expand ``--pipeline`` values (sweep syntax included) into members.
+
+    Malformed specs warn and are skipped, matching the unknown-member
+    convention, so one typo cannot fail a long sweep.
+    """
+    from repro.exceptions import ConfigurationError
+    from repro.pipeline import expand_spec
+
+    members: List[str] = []
+    for spec in specs or []:
+        spec = spec.strip()
+        if not spec:
+            continue
+        try:
+            members += expand_spec(spec)
+        except ConfigurationError as exc:
+            _warnings.warn(
+                f"ignoring malformed pipeline spec {spec!r} ({exc})",
+                UserWarning,
+                stacklevel=3,
+            )
+    return members
+
+
+def _validate_members(members, _warnings):
+    """Resolve member names/specs, warning-and-skipping unknown ones.
+
+    The shared warn-and-skip convention of ``portfolio`` and ``exec run``:
+    one typo cannot fail a long sweep, but an all-unknown list is still an
+    error (handled by the callers, whose wording differs).  Returns the
+    valid members plus their canonical specs.
+    """
+    from repro.exceptions import ConfigurationError
+    from repro.portfolio import resolve_member
+
+    valid: List[str] = []
+    resolved = {}
+    for member in members:
+        try:
+            resolved[member] = resolve_member(member)
+            valid.append(member)
+        except ConfigurationError:
+            _warnings.warn(
+                f"ignoring unknown portfolio member {member!r}; see "
+                f"'repro portfolio --list-members' and 'repro pipeline list'",
+                UserWarning,
+                stacklevel=3,
+            )
+    return valid, resolved
+
+
+def _cmd_exec_run(args: argparse.Namespace) -> int:
+    """Run pipeline specs over a dataset through one Session, streaming
+    per-job results as they complete and reducing to the best-per-instance
+    table at the end (the portfolio view)."""
+    import warnings as _warnings
+
+    from repro.exceptions import ConfigurationError
+    from repro.exec import Session, plan_pipelines
+    from repro.experiments.datasets import small_dataset, tiny_dataset
+    from repro.experiments.runner import ExperimentConfig
+    from repro.pipeline import with_default_budget
+    from repro.portfolio import (
+        DEFAULT_MEMBERS,
+        format_portfolio_table,
+        reduce_to_portfolio_rows,
+    )
+
+    if args.budget is not None and args.budget <= 0:
+        raise ConfigurationError("--budget must be positive (seconds)")
+    requested = bool(args.members) or bool(args.pipeline)
+    members = [m.strip() for m in args.members.split(",") if m.strip()] \
+        if args.members else []
+    members += _expand_pipeline_specs(args.pipeline, _warnings)
+    if not members:
+        if requested:
+            # every explicitly requested spec was malformed and skipped; a
+            # silent fall-back to the default portfolio would run entirely
+            # different (and possibly expensive) work than asked for
+            raise ConfigurationError(
+                "no valid pipeline specs left after skipping malformed "
+                "--pipeline/--members values; see 'repro pipeline list'"
+            )
+        members = list(DEFAULT_MEMBERS)
+    members, _ = _validate_members(members, _warnings)
+    if not members:
+        raise ConfigurationError(
+            "no valid pipeline specs left after skipping unknown ones; "
+            "see 'repro pipeline list'"
+        )
+    if args.budget is not None:
+        members = [with_default_budget(member, args.budget) for member in members]
+    uses_refine = any("refine" in member for member in members)
+    config = ExperimentConfig(
+        name="exec",
+        num_processors=args.processors,
+        ilp_time_limit=args.time_limit,
+        ilp_node_limit=args.node_limit,
+        **({"refine": _refine_config_from_args(args, enabled=False)}
+           if uses_refine else {}),
+        **_backend_kwargs(args),
+    )
+    dags = (tiny_dataset(scale=args.scale, limit=args.limit) if args.which == "tiny"
+            else small_dataset(scale=args.scale, limit=args.limit))
+    prune_gap = None if args.no_prune else args.prune_gap
+    plan = plan_pipelines(members, dags, config, prune_gap=prune_gap)
+    session = Session(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        results_path=args.results,
+        resume=args.resume,
+    )
+    print(f"session: {len(plan)} jobs ({len(dags)} instances x "
+          f"{len(members)} pipelines), {session.workers} worker slot(s)")
+    results = [None] * len(plan)
+    done = 0
+    for event in session.stream(plan):
+        results[event.index] = event.result
+        done += 1
+        cost = event.result.extra_costs.get("member_cost", event.result.ilp_cost)
+        member = members[event.index % len(members)]
+        print(f"  [{done:>3d}/{len(plan)}] {event.instance:<20s} "
+              f"{member:<44s} cost={cost:<10g} ({event.source}) "
+              f"{event.result.solver_status}")
+    print()
+    print(format_portfolio_table(reduce_to_portfolio_rows(members, dags, results)))
+    if args.budget is not None:
+        print(f"stage budget: {args.budget:g}s per stage "
+              f"(spec overrides win; part of the job hash)")
+    print(f"ilp backend: {config.ilp_backend}")
+    print(f"session: {session.stats.describe()}")
     return 0
 
 
@@ -526,7 +680,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipe_run.add_argument(
         "--spec", required=True,
-        help="pipeline spec or member name, e.g. 'bspg+clairvoyant|refine|ilp'"
+        help="pipeline spec or member name, e.g. 'bspg+clairvoyant|refine|ilp' "
+             "or 'baseline|race(ilp@bnb,ilp@scipy)'"
     )
     add_dag_arguments(pipe_run)
     add_refine_arguments(pipe_run, with_switch=False)
@@ -535,6 +690,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: no pruning)")
     pipe_run.add_argument("--no-prune", action="store_true",
                           help="disable bound-aware pruning")
+    pipe_run.add_argument("--workers", type=int, default=1,
+                          help="session worker slots: race(...) stages fan "
+                               "branches out over this many threads")
+    pipe_run.add_argument("--budget", type=float, default=None,
+                          help="wall-clock budget in seconds for every stage "
+                               "without an explicit budget=<s>s option")
     pipe_run.set_defaults(func=_cmd_pipeline_run)
 
     data = sub.add_parser("dataset", help="list the benchmark datasets")
@@ -565,6 +726,45 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_arguments(exp)
     add_refine_arguments(exp)
     exp.set_defaults(func=_cmd_experiment)
+
+    execp = sub.add_parser(
+        "exec", help="the unified async execution core (repro.exec)"
+    )
+    exec_sub = execp.add_subparsers(dest="action", required=True)
+    exec_run = exec_sub.add_parser(
+        "run",
+        help="run pipeline specs over a dataset through one Session, "
+             "streaming per-job results as they complete",
+    )
+    exec_run.add_argument("--pipeline", action="append", default=None,
+                          metavar="SPEC",
+                          help="add one pipeline spec (repeatable); supports "
+                               "race(a,b,...), budget=<s>s, stage@backend and "
+                               "the sweep syntax key={a,b,c}")
+    exec_run.add_argument("--members", default=None,
+                          help="comma-separated legacy member names to add "
+                               "(default when nothing is given: the default "
+                               "portfolio members)")
+    exec_run.add_argument("--which", choices=["tiny", "small"], default="tiny")
+    exec_run.add_argument("--scale", choices=["default", "paper"], default="default")
+    exec_run.add_argument("--limit", type=int, default=None,
+                          help="only the first N instances")
+    exec_run.add_argument("--processors", "-p", type=int, default=4)
+    exec_run.add_argument("--time-limit", type=float, default=5.0)
+    add_backend_argument(exec_run)
+    exec_run.add_argument("--budget", type=float, default=None,
+                          help="wall-clock budget in seconds applied to every "
+                               "stage lacking an explicit budget=<s>s option "
+                               "(part of the canonical spec and job hash)")
+    exec_run.add_argument("--prune-gap", type=float, default=0.0,
+                          help="bound-aware per-stage pruning gap "
+                               "(default 0.0 = skip only provably optimal "
+                               "incumbents)")
+    exec_run.add_argument("--no-prune", action="store_true",
+                          help="disable bound-aware pruning")
+    add_engine_arguments(exec_run)
+    add_refine_arguments(exec_run, with_switch=False)
+    exec_run.set_defaults(func=_cmd_exec_run)
 
     port = sub.add_parser("portfolio", help="run a scheduler portfolio over a dataset")
     port.add_argument("--members", default=None,

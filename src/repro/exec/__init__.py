@@ -1,0 +1,37 @@
+"""Unified async execution core (``repro.exec``).
+
+One :class:`Session` API executes everything: experiment batches, portfolio
+sweeps and individual pipelines are all :class:`RunPlan`\\ s — job graphs of
+pipeline-stage nodes — run on an asyncio core with bounded worker slots and
+streaming :class:`ResultEvent`\\ s.  The content-hash result cache, JSONL
+streaming + resume, and in-pipeline concurrency slots (used by ``race``
+stages) are session services; the legacy ``ExperimentEngine`` and
+``Portfolio`` entry points are thin shims over a session.
+
+Quick start::
+
+    >>> from repro.exec import Session, plan_pipelines
+    >>> session = Session(workers=4, cache_dir=".repro-cache")
+    >>> plan = plan_pipelines(["baseline|race(ilp@bnb,ilp@scipy)"], dags, config)
+    >>> for event in session.stream(plan):
+    ...     print(event.instance, event.result.ilp_cost, event.source)
+"""
+
+from repro.exec.plan import PlanNode, RunPlan, as_plan, plan_pipelines
+from repro.exec.session import ResultEvent, Session, SessionStats
+from repro.exec.slots import branch_slots, slot_scope
+from repro.exec.store import ResultCache, ResultLog
+
+__all__ = [
+    "PlanNode",
+    "ResultCache",
+    "ResultEvent",
+    "ResultLog",
+    "RunPlan",
+    "Session",
+    "SessionStats",
+    "as_plan",
+    "branch_slots",
+    "plan_pipelines",
+    "slot_scope",
+]

@@ -1,0 +1,123 @@
+"""Result persistence services of the execution core.
+
+Two stores, both keyed by the job content hash
+(:meth:`repro.experiments.parallel.ExperimentJob.key`):
+
+* :class:`ResultCache` — one JSON file per job hash in a cache directory.
+  A hit replays the recorded :class:`~repro.experiments.runner.
+  InstanceResult` without executing anything — including budgeted and
+  raced outcomes, whose limits are part of the canonical spec and hence of
+  the hash.  Corrupt entries read as misses and are overwritten.
+* :class:`ResultLog` — an append-only JSONL stream of completed results
+  (one object per line: job key, kind, instance name, result), which
+  doubles as the *resume* store: keys already recorded are not re-executed.
+
+Both were previously private to ``ExperimentEngine``; they are now session
+services shared by every execution surface (engine shim, portfolio,
+``repro exec run``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
+    from repro.experiments.runner import InstanceResult
+
+PathLike = Union[str, Path]
+
+
+class ResultCache:
+    """On-disk result cache: one JSON file per job content hash."""
+
+    def __init__(self, cache_dir: Optional[PathLike] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+
+    @property
+    def enabled(self) -> bool:
+        return self.cache_dir is not None
+
+    def path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def load(self, key: str) -> Optional["InstanceResult"]:
+        from repro.experiments.runner import InstanceResult
+
+        path = self.path(key)
+        if path is None or not path.is_file():
+            return None
+        try:
+            return InstanceResult.from_dict(json.loads(path.read_text()))
+        except (ValueError, KeyError, TypeError):
+            # a corrupt cache entry is treated as a miss and overwritten
+            return None
+
+    def store(self, key: str, result: "InstanceResult") -> None:
+        """Write (or repair) the cache entry for ``key`` (atomic replace)."""
+        path = self.path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(result.to_dict()))
+        os.replace(tmp, path)
+
+
+class ResultLog:
+    """JSONL result stream + resume index.
+
+    The file is parsed at most once per log instance; afterwards the
+    in-memory index is kept current by :meth:`append` (one log instance is
+    the file's only appender, matching the engine's historical contract).
+    Keys already present in the file — or already appended by this instance
+    — are skipped, so re-running a batch against the same results file
+    never double-counts a job.
+    """
+
+    def __init__(self, results_path: Optional[PathLike] = None) -> None:
+        self.results_path = Path(results_path) if results_path else None
+        self._streamed_keys: set = set()
+        self._recorded_index: Optional[Dict[str, dict]] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.results_path is not None
+
+    def recorded(self) -> Dict[str, dict]:
+        """Job-key -> result-dict index of the JSONL results store."""
+        if self._recorded_index is not None:
+            return self._recorded_index
+        if self.results_path is None or not self.results_path.is_file():
+            self._recorded_index = {}
+            return self._recorded_index
+        from repro.experiments.reporting import iter_jsonl_records
+
+        recorded: Dict[str, dict] = {}
+        for record in iter_jsonl_records(self.results_path):
+            if "key" in record:
+                recorded[str(record["key"])] = record["result"]
+        self._streamed_keys.update(recorded)
+        self._recorded_index = recorded
+        return recorded
+
+    def append(self, key: str, job, result: "InstanceResult") -> None:
+        """Append one result record (deduplicated by job key)."""
+        if self.results_path is None or key in self._streamed_keys:
+            return
+        self.results_path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "key": key,
+            "kind": job.kind,
+            "instance": job.instance_name,
+            "result": result.to_dict(),
+        }
+        with open(self.results_path, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        self._streamed_keys.add(key)
+        if self._recorded_index is not None:
+            self._recorded_index[key] = record["result"]

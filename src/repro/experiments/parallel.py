@@ -11,44 +11,47 @@ module provides the architectural seam all experiment batches go through:
   DAG structure, weights and the full configuration — including the per-job
   ILP solver backend (``ExperimentConfig.ilp_backend``), so sweeps over
   different backends never collide in the result cache.
-* :class:`ExperimentEngine` — executes a batch of jobs either inline
-  (``workers=1``) or on a :class:`~concurrent.futures.ProcessPoolExecutor`
-  (``workers>1``; one fresh pool per batch — startup is negligible next to
-  solver runtimes).  Results are returned in submission order, so a
-  parallel run is *bit-identical* to the serial one whenever the jobs
-  themselves are deterministic: two-stage pipelines always are, and ILP
-  jobs are when solved to optimality or bounded by
-  ``ExperimentConfig.ilp_node_limit`` (with a time limit generous enough
-  that the node limit is what binds).  A *wall-clock*-limited ILP that
-  hits its limit can return a different incumbent under CPU contention —
-  use node limits (CLI: ``--node-limit``) for sweeps that must be exactly
-  reproducible.
-  The engine optionally
+* :class:`ExperimentEngine` — since the ``repro.exec`` redesign a thin,
+  behaviour-preserving shim over :class:`repro.exec.Session`, the unified
+  async execution core.  A batch of jobs becomes an edge-free
+  :class:`~repro.exec.plan.RunPlan`; the session executes it inline
+  (``workers=1``) or on a process pool (``workers>1``) with bounded worker
+  slots.  Results are returned in submission order, so a parallel run is
+  *bit-identical* to the serial one whenever the jobs themselves are
+  deterministic: two-stage pipelines always are, and ILP jobs are when
+  solved to optimality or bounded by ``ExperimentConfig.ilp_node_limit``
+  (with a time limit generous enough that the node limit is what binds).
+  A *wall-clock*-limited ILP that hits its limit can return a different
+  incumbent under CPU contention — use node limits (CLI: ``--node-limit``)
+  for sweeps that must be exactly reproducible.
+  The session services the engine exposes (see :mod:`repro.exec.store`):
 
-  - caches results on disk keyed by the job hash (``cache_dir=...``), so a
-    re-run of the same batch performs zero solver calls;
-  - streams every completed result to a JSONL file (``results_path=...``)
-    and can *resume* an interrupted sweep from it (``resume=True``).
+  - the content-hash disk cache (``cache_dir=...``) — a re-run of the same
+    batch performs zero solver calls;
+  - JSONL result streaming (``results_path=...``) and *resume*
+    (``resume=True``) of interrupted sweeps.
 
 The engine is deliberately scheduler-agnostic: job kinds are dispatched in
 :func:`execute_job`, and new kinds (e.g. the scheduler portfolio in
-:mod:`repro.portfolio`) plug in without touching the pool/caching logic.
+:mod:`repro.portfolio`) plug in without touching the execution core.
+Callers that want streaming events, job graphs with ordering edges, or the
+in-pipeline concurrency of ``race(...)`` stages should use the session API
+directly (:mod:`repro.exec`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
-import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.dag.graph import ComputationalDag
 from repro.dag.io import dag_from_dict, dag_to_dict
 from repro.exceptions import ConfigurationError
+from repro.exec.plan import RunPlan
+from repro.exec.session import Session, SessionStats
 from repro.experiments.runner import (
     ExperimentConfig,
     InstanceResult,
@@ -157,24 +160,20 @@ def _dispatch_job(job: ExperimentJob) -> InstanceResult:
     raise ConfigurationError(f"unknown experiment job kind {job.kind!r}")
 
 
-@dataclass
-class EngineStats:
-    """Bookkeeping of one engine: how each job's result was obtained."""
-
-    total: int = 0
-    executed: int = 0
-    cache_hits: int = 0
-    resumed: int = 0
-
-    def describe(self) -> str:
-        return (
-            f"{self.total} jobs: {self.executed} executed, "
-            f"{self.cache_hits} cache hits, {self.resumed} resumed"
-        )
+#: Backwards-compatible alias: engine statistics *are* session statistics.
+EngineStats = SessionStats
 
 
 class ExperimentEngine:
-    """Executes experiment jobs, in-process or across a process pool.
+    """Batch-of-jobs facade over the unified execution core.
+
+    Every parameter maps one-to-one onto :class:`repro.exec.Session` (the
+    engine owns one session for its whole lifetime, so the resume index,
+    stream deduplication and statistics accumulate across :meth:`run`
+    calls exactly as they historically did).  :meth:`run` wraps the job
+    list in an edge-free :class:`~repro.exec.plan.RunPlan`; results come
+    back in submission order, bit-identical to the pre-session engine
+    (pinned by the golden equivalence and determinism suites).
 
     Parameters
     ----------
@@ -190,13 +189,11 @@ class ExperimentEngine:
         If true and ``results_path`` exists, jobs whose key already appears
         in the file are not re-executed; their recorded results are returned.
     job_timeout:
-        Optional bound, in seconds, on waiting for each job while collecting
-        pool results (``concurrent.futures`` semantics: the clock starts
-        when collection reaches the job, and exceeding it raises
-        :class:`TimeoutError` without cancelling the running worker).  It is
-        a liveness guard for parallel runs, not a hard per-job kill switch,
-        and it does not apply to inline (``workers=1``) execution; budgets
-        never truncate a completed result, so results stay deterministic.
+        Optional per-job liveness bound in seconds for process-pool
+        execution; exceeding it raises :class:`TimeoutError` without
+        killing the stuck worker.  It does not apply to inline
+        (``workers=1``) execution, and budgets never truncate a completed
+        result, so results stay deterministic.
     """
 
     def __init__(
@@ -207,176 +204,34 @@ class ExperimentEngine:
         resume: bool = False,
         job_timeout: Optional[float] = None,
     ) -> None:
-        self.workers = max(1, int(workers))
-        self.cache_dir = Path(cache_dir) if cache_dir else None
-        self.results_path = Path(results_path) if results_path else None
+        self.session = Session(
+            workers=workers,
+            cache_dir=cache_dir,
+            results_path=results_path,
+            resume=resume,
+            job_timeout=job_timeout,
+        )
+        self.workers = self.session.workers
+        self.cache_dir = self.session.cache.cache_dir
+        self.results_path = self.session.log.results_path
         self.resume = resume
         self.job_timeout = job_timeout
-        self.stats = EngineStats()
-        self._streamed_keys: set = set()
-        # key -> result-dict index of the results file; loaded once per
-        # engine (this engine is the only appender afterwards)
-        self._recorded_index: Optional[Dict[str, dict]] = None
-        if resume and self.results_path is None:
-            warnings.warn(
-                "resume=True without a results_path is a no-op: there is no "
-                "results file to resume from, so every job will re-execute",
-                UserWarning,
-                stacklevel=2,
-            )
+
+    @property
+    def stats(self) -> SessionStats:
+        """The underlying session's statistics (shared object)."""
+        return self.session.stats
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[ExperimentJob]) -> List[InstanceResult]:
         """Execute ``jobs`` and return their results in submission order."""
-        jobs = list(jobs)
-        self.stats.total += len(jobs)
-        results: List[Optional[InstanceResult]] = [None] * len(jobs)
-        keys = [job.key() for job in jobs]
-
-        recorded = self._load_recorded()
-        pending: List[int] = []
-        for i, key in enumerate(keys):
-            if self.resume and key in recorded:
-                result = InstanceResult.from_dict(recorded[key])
-                results[i] = result
-                self.stats.resumed += 1
-                # keep the two stores consistent: a result resumed from the
-                # JSONL file also becomes a disk-cache entry
-                self._cache_store(key, result)
-                continue
-            cached = self._cache_load(key)
-            if cached is not None:
-                results[i] = cached
-                self.stats.cache_hits += 1
-                # the results file must record the whole batch, not only the
-                # jobs that happened to miss the cache — but never a key the
-                # file already holds (that would double-count on re-runs)
-                self._stream(key, jobs[i], cached)
-                continue
-            pending.append(i)
-
-        if pending:
-            if self.workers == 1 or len(pending) == 1:
-                for i in pending:
-                    result = execute_job(jobs[i])
-                    self._complete(keys[i], jobs[i], result)
-                    results[i] = result
-            else:
-                self._run_pool(jobs, keys, pending, results)
-        missing = [i for i, r in enumerate(results) if r is None]
-        if missing:  # pragma: no cover - defensive: every path above fills its slot
-            raise RuntimeError(f"engine produced no result for job indices {missing}")
-        return results  # type: ignore[return-value]
-
-    def _run_pool(
-        self,
-        jobs: List[ExperimentJob],
-        keys: List[str],
-        pending: List[int],
-        results: List[Optional[InstanceResult]],
-    ) -> None:
-        """Execute the pending jobs on a process pool, collecting in
-        submission order (so parallel results are identical to serial).
-
-        On a ``job_timeout`` expiry the pool is abandoned without waiting
-        (queued jobs cancelled, the stuck worker process orphaned) so the
-        caller is actually unblocked; a ``with``-managed pool would block in
-        ``shutdown(wait=True)`` on the hung job while unwinding.
-        """
-        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
-        try:
-            futures = {i: pool.submit(execute_job, jobs[i]) for i in pending}
-            for i in pending:
-                result = futures[i].result(timeout=self.job_timeout)
-                self._complete(keys[i], jobs[i], result)
-                results[i] = result
-        except BaseException:
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-        pool.shutdown(wait=True)
+        return self.session.run(RunPlan.from_jobs(list(jobs)))
 
     def run_one(self, job: ExperimentJob) -> InstanceResult:
         """Convenience wrapper: run a single job."""
         return self.run([job])[0]
-
-    # ------------------------------------------------------------------
-    # cache + results store
-    # ------------------------------------------------------------------
-    def _cache_path(self, key: str) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{key}.json"
-
-    def _cache_load(self, key: str) -> Optional[InstanceResult]:
-        path = self._cache_path(key)
-        if path is None or not path.is_file():
-            return None
-        try:
-            return InstanceResult.from_dict(json.loads(path.read_text()))
-        except (ValueError, KeyError, TypeError):
-            # a corrupt cache entry is treated as a miss and overwritten
-            return None
-
-    def _cache_store(self, key: str, result: InstanceResult) -> None:
-        """Write (or repair) the disk-cache entry for ``key``."""
-        path = self._cache_path(key)
-        if path is None:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(result.to_dict()))
-        os.replace(tmp, path)
-
-    def _complete(self, key: str, job: ExperimentJob, result: InstanceResult) -> None:
-        self.stats.executed += 1
-        self._cache_store(key, result)
-        self._stream(key, job, result)
-
-    def _stream(self, key: str, job: ExperimentJob, result: InstanceResult) -> None:
-        """Append one result record to the JSONL results file (if any).
-
-        Keys already present in the file (loaded in :meth:`run`) or already
-        streamed by this engine are skipped, so re-running a batch against
-        the same results file never double-counts an instance.
-        """
-        if self.results_path is None or key in self._streamed_keys:
-            return
-        self.results_path.parent.mkdir(parents=True, exist_ok=True)
-        record = {
-            "key": key,
-            "kind": job.kind,
-            "instance": job.instance_name,
-            "result": result.to_dict(),
-        }
-        with open(self.results_path, "a") as handle:
-            handle.write(json.dumps(record) + "\n")
-        self._streamed_keys.add(key)
-        if self._recorded_index is not None:
-            self._recorded_index[key] = record["result"]
-
-    def _load_recorded(self) -> Dict[str, dict]:
-        """Job-key -> result-dict index of the JSONL results store.
-
-        The file is parsed once per engine; subsequent :meth:`run` calls
-        reuse the in-memory index (this engine is the file's only appender,
-        and :meth:`_stream` keeps the index current).
-        """
-        if self._recorded_index is not None:
-            return self._recorded_index
-        if self.results_path is None or not self.results_path.is_file():
-            self._recorded_index = {}
-            return self._recorded_index
-        from repro.experiments.reporting import iter_jsonl_records
-
-        recorded: Dict[str, dict] = {}
-        for record in iter_jsonl_records(self.results_path):
-            if "key" in record:
-                recorded[str(record["key"])] = record["result"]
-        self._streamed_keys.update(recorded)
-        self._recorded_index = recorded
-        return recorded
 
 
 def run_jobs(

@@ -425,3 +425,47 @@ def dataset_scale() -> str:
 def dataset_limit() -> Optional[int]:
     """Optional instance-count limit from ``REPRO_BENCH_LIMIT``."""
     return _env_int("REPRO_BENCH_LIMIT", None)
+
+
+def env_bench_workers(default: int = 1) -> int:
+    """Engine/session worker count from ``REPRO_BENCH_WORKERS``.
+
+    Malformed values (non-integers — already warned about by the shared
+    parser — and non-positive counts) warn and fall back to ``default``,
+    matching the ``REPRO_ILP_BACKEND`` / ``REPRO_BENCH_SCALE`` convention.
+    """
+    value = _env_int("REPRO_BENCH_WORKERS", default)
+    if value is None:
+        return max(1, int(default))
+    if value < 1:
+        warnings.warn(
+            f"ignoring non-positive value {value!r} of environment variable "
+            f"REPRO_BENCH_WORKERS (expected a worker count >= 1); using the "
+            f"default {default!r}",
+            UserWarning,
+            stacklevel=2,
+        )
+        return max(1, int(default))
+    return int(value)
+
+
+def env_cache_dir() -> Optional[str]:
+    """Result-cache directory from ``REPRO_CACHE_DIR`` (``None`` = disabled).
+
+    A value pointing at an existing non-directory warns and disables the
+    cache instead of failing every job's cache write, matching the
+    warn-and-fall-back convention of the other ``REPRO_*`` knobs.
+    """
+    value = os.environ.get("REPRO_CACHE_DIR")
+    if value is None or not value.strip():
+        return None
+    path = value.strip()
+    if os.path.exists(path) and not os.path.isdir(path):
+        warnings.warn(
+            f"ignoring value {path!r} of environment variable REPRO_CACHE_DIR: "
+            f"it exists but is not a directory; running without a result cache",
+            UserWarning,
+            stacklevel=2,
+        )
+        return None
+    return path

@@ -9,6 +9,12 @@ size/structure with error fallback).  ``backend=None`` selects the process
 default — ``REPRO_ILP_BACKEND`` or ``"scipy"``.
 """
 
+from repro.ilp.cancellation import (
+    CancelToken,
+    cancel_scope,
+    clamped_time_limit,
+    current_cancel_token,
+)
 from repro.ilp.expr import INF, Constraint, LinExpr, Variable, lin_sum
 from repro.ilp.model import CompiledModel, IlpModel, Sense
 from repro.ilp.solution import IlpSolution, SolutionStatus
@@ -41,6 +47,10 @@ def solve(
 
 
 __all__ = [
+    "CancelToken",
+    "cancel_scope",
+    "clamped_time_limit",
+    "current_cancel_token",
     "INF",
     "Constraint",
     "LinExpr",

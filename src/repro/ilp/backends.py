@@ -34,6 +34,7 @@ engine count in their worker processes, not in the parent.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -208,29 +209,39 @@ def resolve_backend_name(name: Optional[str]) -> str:
 # ----------------------------------------------------------------------
 @dataclass
 class SolverCallStats:
-    """Per-process tally of dispatched solver calls and times, by backend name."""
+    """Per-process tally of dispatched solver calls and times, by backend name.
+
+    Updates are lock-protected: ``race(...)`` pipeline stages dispatch
+    solves from concurrent branch threads within one process.
+    """
 
     total: int = 0
     by_backend: Dict[str, int] = field(default_factory=dict)
     time_total: float = 0.0
     time_by_backend: Dict[str, float] = field(default_factory=dict)
+    _lock: "threading.Lock" = field(
+        default_factory=lambda: threading.Lock(), repr=False, compare=False
+    )
 
     def record(self, name: str) -> None:
-        self.total += 1
-        self.by_backend[name] = self.by_backend.get(name, 0) + 1
+        with self._lock:
+            self.total += 1
+            self.by_backend[name] = self.by_backend.get(name, 0) + 1
 
     def record_time(self, name: str, elapsed: float) -> None:
-        self.time_total += elapsed
-        self.time_by_backend[name] = self.time_by_backend.get(name, 0.0) + elapsed
+        with self._lock:
+            self.time_total += elapsed
+            self.time_by_backend[name] = self.time_by_backend.get(name, 0.0) + elapsed
 
     def snapshot(self) -> "SolverCallStats":
         """An independent copy (for before/after deltas around a job)."""
-        return SolverCallStats(
-            total=self.total,
-            by_backend=dict(self.by_backend),
-            time_total=self.time_total,
-            time_by_backend=dict(self.time_by_backend),
-        )
+        with self._lock:
+            return SolverCallStats(
+                total=self.total,
+                by_backend=dict(self.by_backend),
+                time_total=self.time_total,
+                time_by_backend=dict(self.time_by_backend),
+            )
 
     def delta_since(self, before: "SolverCallStats") -> Dict[str, float]:
         """Flat ``{metric: value}`` dict of the calls/times since ``before``.
@@ -256,10 +267,11 @@ class SolverCallStats:
         return out
 
     def reset(self) -> None:
-        self.total = 0
-        self.by_backend.clear()
-        self.time_total = 0.0
-        self.time_by_backend.clear()
+        with self._lock:
+            self.total = 0
+            self.by_backend.clear()
+            self.time_total = 0.0
+            self.time_by_backend.clear()
 
 
 _CALL_STATS = SolverCallStats()

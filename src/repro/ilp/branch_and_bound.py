@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 from scipy import optimize, sparse
 
+from repro.ilp.cancellation import current_cancel_token
 from repro.ilp.model import CompiledModel, IlpModel, Sense
 from repro.ilp.scipy_backend import SolverOptions
 from repro.ilp.solution import IlpSolution, SolutionStatus
@@ -127,6 +128,15 @@ def solve_with_branch_and_bound(
     compiled = model.compile()
     start = time.perf_counter()
     deadline = None if options.time_limit is None else start + options.time_limit
+    # a cancellation scope (race branches, budgeted stages) tightens the
+    # deadline and is additionally polled per node, so cancel() interrupts
+    # even a solve submitted without any time limit
+    cancel_token = current_cancel_token()
+    if cancel_token is not None:
+        token_remaining = cancel_token.remaining()
+        if token_remaining is not None:
+            token_deadline = start + max(token_remaining, 0.0)
+            deadline = token_deadline if deadline is None else min(deadline, token_deadline)
     node_limit = math.inf if options.node_limit is None else max(0, int(options.node_limit))
 
     sign = 1.0 if compiled.sense is Sense.MINIMIZE else -1.0
@@ -188,6 +198,9 @@ def solve_with_branch_and_bound(
 
     while heap:
         if deadline is not None and time.perf_counter() > deadline:
+            exhausted = False
+            break
+        if cancel_token is not None and cancel_token.cancel_requested:
             exhausted = False
             break
         if explored >= node_limit:

@@ -80,9 +80,24 @@ class SolverOptions:
 
 def solve_with_scipy(model: IlpModel, options: Optional[SolverOptions] = None) -> IlpSolution:
     """Solve ``model`` with ``scipy.optimize.milp`` and return an :class:`IlpSolution`."""
+    from repro.ilp.cancellation import clamped_time_limit, current_cancel_token
+
     options = options or SolverOptions()
     compiled = model.compile()
     start = time.perf_counter()
+
+    # cooperative cancellation: scipy.optimize.milp cannot be interrupted
+    # once running, so the hook is coarse — refuse to start when the current
+    # scope is already cancelled, and clamp the time limit to the scope's
+    # remaining deadline so a wall-clock budget still bounds the solve
+    token = current_cancel_token()
+    if token is not None and token.cancelled():
+        return IlpSolution(
+            status=SolutionStatus.NO_SOLUTION,
+            solve_time=0.0,
+            message="solve cancelled before dispatch",
+        )
+    effective_time_limit = clamped_time_limit(options.time_limit)
 
     constraints = []
     if compiled.A.shape[0] > 0:
@@ -133,8 +148,8 @@ def solve_with_scipy(model: IlpModel, options: Optional[SolverOptions] = None) -
         "disp": options.verbose,
         "mip_rel_gap": options.mip_rel_gap,
     }
-    if options.time_limit is not None:
-        milp_options["time_limit"] = float(options.time_limit)
+    if effective_time_limit is not None:
+        milp_options["time_limit"] = float(effective_time_limit)
     if options.node_limit is not None:
         milp_options["node_limit"] = int(options.node_limit)
 

@@ -54,9 +54,16 @@ from repro.pipeline.spec import (
     PipelineSpec,
     StageSpec,
     canonicalize,
+    expand_spec,
     is_pipeline_spec,
     legacy_member_names,
     parse,
+    with_default_budget,
+)
+from repro.pipeline.composite import (
+    EXAMPLE_RACE_SPECS,
+    BudgetedStage,
+    RaceStage,
 )
 from repro.pipeline.pipeline import (
     Pipeline,
@@ -92,9 +99,14 @@ __all__ = [
     "PipelineSpec",
     "StageSpec",
     "canonicalize",
+    "expand_spec",
     "is_pipeline_spec",
     "legacy_member_names",
     "parse",
+    "with_default_budget",
+    "EXAMPLE_RACE_SPECS",
+    "BudgetedStage",
+    "RaceStage",
     "Pipeline",
     "PipelineResult",
     "StageReuseCache",

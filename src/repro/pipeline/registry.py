@@ -26,6 +26,10 @@ class StageFactory:
     #: option names the factory understands (for error messages and
     #: spec-fuzzing tests); values are documented defaults, ``""`` = derived
     options: Tuple[Tuple[str, str], ...] = ()
+    #: composite stages (``race``) additionally take positional arguments —
+    #: sub-specs, e.g. ``race(ilp@bnb, ilp@scipy)``; when set, this builder
+    #: is called as ``build_composite(args, options)`` instead of ``build``
+    build_composite: "Callable[[Tuple[str, ...], Mapping[str, str]], Stage] | None" = None
 
 
 _REGISTRY: Dict[str, StageFactory] = {}
@@ -83,15 +87,35 @@ def get_stage_factory(name: str) -> StageFactory:
         ) from None
 
 
-def make_stage(name: str, options: Mapping[str, str] | None = None) -> Stage:
-    """Build a stage instance from a name and its spec options."""
+def make_stage(
+    name: str,
+    options: Mapping[str, str] | None = None,
+    args: Tuple[str, ...] = (),
+) -> Stage:
+    """Build a stage instance from a name, its spec options and positional
+    arguments (the latter only for composite stages such as ``race``)."""
     factory = get_stage_factory(name)
     options = dict(options or {})
     known = {key for key, _ in factory.options}
     unknown = sorted(set(options) - known)
     if unknown:
+        hint = ""
+        if "budget" in unknown:
+            hint = (
+                "; a wall-clock stage budget is spelled with an 's' suffix, "
+                "e.g. budget=2s"
+            )
         raise ConfigurationError(
             f"stage {factory.name!r} does not understand option(s) {unknown}; "
-            f"known options: {sorted(known) or 'none'}"
+            f"known options: {sorted(known) or 'none'}{hint}"
         )
+    if args:
+        if factory.build_composite is None:
+            raise ConfigurationError(
+                f"stage {factory.name!r} takes no positional arguments "
+                f"(got {list(args)}); only composite stages like 'race' do"
+            )
+        return factory.build_composite(tuple(args), options)
+    if factory.build_composite is not None:
+        return factory.build_composite((), options)
     return factory.build(options)

@@ -199,17 +199,29 @@ class IlpStage:
     prune_label = ("baseline cost", "ILP solve pruned")
     config_error_means_inapplicable = False
 
-    def __init__(self, warm: str = "solution") -> None:
+    def __init__(self, warm: str = "solution", backend: Optional[str] = None) -> None:
         if warm not in ("solution", "objective"):
             raise ConfigurationError(
                 f"stage 'ilp': unknown warm={warm!r}; expected "
                 f"'solution' or 'objective'"
             )
         self.warm = warm
+        self.backend = None
+        if backend is not None and str(backend).strip():
+            # 'ilp@scipy' pins this stage's solver backend (the experiment
+            # config's ilp_backend applies otherwise); canonicalize and
+            # fail early on unknown names
+            from repro.ilp.backends import get_backend
+
+            try:
+                self.backend = get_backend(str(backend).strip()).name
+            except ValueError as exc:
+                raise ConfigurationError(f"stage 'ilp': {exc}") from None
 
     def spec_token(self) -> str:
         options = [] if self.warm == "solution" else [("warm", self.warm)]
-        return f"{self.name}{_canonical_options(options)}"
+        pinned = f"@{self.backend}" if self.backend else ""
+        return f"{self.name}{pinned}{_canonical_options(options)}"
 
     def run(
         self, instance: MbspInstance, incumbent: Optional[Incumbent], ctx: StageContext
@@ -225,10 +237,10 @@ class IlpStage:
             scheduler_name=incumbent.source or "incumbent",
             policy_name="",
         )
-        ilp_config = replace(
-            ctx.config.ilp_config(),
-            warm_start="solution" if self.warm == "solution" else "objective",
-        )
+        changes = {"warm_start": "solution" if self.warm == "solution" else "objective"}
+        if self.backend is not None:
+            changes["backend"] = self.backend
+        ilp_config = replace(ctx.config.ilp_config(), **changes)
         result = MbspIlpScheduler(ilp_config).schedule(instance, baseline=seeded)
         extras = {}
         if self.warm == "solution":
@@ -306,10 +318,22 @@ class RefineStage:
     def run(
         self, instance: MbspInstance, incumbent: Optional[Incumbent], ctx: StageContext
     ) -> StageResult:
+        from repro.ilp.cancellation import current_cancel_token
         from repro.refine import Refiner
 
         assert incumbent is not None  # guaranteed by the pipeline runner
-        refined = Refiner(self.refine_config(ctx)).refine(
+        config = self.refine_config(ctx)
+        token = current_cancel_token()
+        remaining = token.remaining() if token is not None else None
+        if remaining is not None:
+            # a wall-clock stage budget (budget=<s>s) caps the refinement
+            # loop; binding it is wall-clock dependent, like any time limit
+            cap = max(remaining, 0.0)
+            config = replace(
+                config,
+                max_time=cap if config.max_time is None else min(config.max_time, cap),
+            )
+        refined = Refiner(config).refine(
             incumbent.schedule, synchronous=ctx.synchronous
         )
         cost = min(refined.final_cost, incumbent.cost)
@@ -405,9 +429,13 @@ register_stage(
         name="ilp",
         description="holistic ILP scheduler warm-started from the incumbent "
         "(warm=solution encodes the incumbent schedule as a full warm-start "
-        "solution; warm=objective passes only its cost)",
-        build=lambda options: IlpStage(warm=options.get("warm", "solution")),
-        options=(("warm", "solution"),),
+        "solution; warm=objective passes only its cost; 'ilp@scipy' / "
+        "backend=... pins the solver backend of this stage)",
+        build=lambda options: IlpStage(
+            warm=options.get("warm", "solution"),
+            backend=options.get("backend"),
+        ),
+        options=(("warm", "solution"), ("backend", "")),
     )
 )
 

@@ -24,7 +24,12 @@ from repro.portfolio.members import (
     run_member,
     schedule_digest,
 )
-from repro.portfolio.portfolio import Portfolio, PortfolioResult, format_portfolio_table
+from repro.portfolio.portfolio import (
+    Portfolio,
+    PortfolioResult,
+    format_portfolio_table,
+    reduce_to_portfolio_rows,
+)
 
 __all__ = [
     "DEFAULT_MEMBERS",
@@ -44,4 +49,5 @@ __all__ = [
     "Portfolio",
     "PortfolioResult",
     "format_portfolio_table",
+    "reduce_to_portfolio_rows",
 ]

@@ -12,14 +12,19 @@ engine — and report, per instance, the member achieving the lowest MBSP cost.
     ...                         workers=4)
     >>> winners[0].best_member, winners[0].best_cost
 
-All engine features apply: ``workers=N`` parallelises over processes,
+Execution goes through the unified execution core (:mod:`repro.exec`):
+the member x instance fan-out is a run plan executed by a ``Session``
+(pass ``session=`` to share one, or the legacy ``engine=`` shim), so all
+session services apply: ``workers=N`` parallelises over processes,
 ``cache_dir`` makes repeated sweeps free, and ``results_path``/``resume``
 stream and resume long sweeps.
 
 Members are **pipeline specs** (:mod:`repro.pipeline`): legacy names like
 ``"ilp"`` or ``"bspg+clairvoyant+refine"`` and raw specs like
-``"bspg+clairvoyant|refine|ilp"`` are equally valid; jobs are hashed under
-the canonical spec, so two spellings of one pipeline share a cache entry.
+``"bspg+clairvoyant|refine|ilp"`` or the backend race
+``"baseline|race(ilp@bnb,ilp@scipy)"`` are equally valid; jobs are hashed
+under the canonical spec, so two spellings of one pipeline share a cache
+entry.
 
 Three mechanisms make the expensive members cheaper or avoidable:
 
@@ -48,6 +53,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.dag.graph import ComputationalDag
 from repro.exceptions import ConfigurationError
+from repro.exec import RunPlan, Session
 from repro.experiments.parallel import ExperimentEngine, ExperimentJob
 from repro.experiments.runner import ExperimentConfig, InstanceResult
 from repro.pipeline import StageReuseStats, stage_reuse_scope
@@ -125,13 +131,18 @@ class Portfolio:
         dags: Sequence[ComputationalDag] = (),
         workers: Optional[int] = None,
         engine: Optional[ExperimentEngine] = None,
+        session: Optional[Session] = None,
     ) -> List[PortfolioResult]:
         """Run every member on every DAG; return one result per DAG (in order).
 
-        Jobs are submitted instance-major, so with ``workers > 1`` all
-        members of all instances execute concurrently; the reduction to the
-        per-instance winner happens deterministically in submission order
-        (ties broken by the position in ``members``).
+        Execution goes through the unified execution core: the member x
+        instance fan-out becomes a :class:`~repro.exec.RunPlan` run by a
+        :class:`~repro.exec.Session` (pass ``session=`` to share one across
+        runs, or the legacy ``engine=`` shim).  Jobs are submitted
+        instance-major, so with ``workers > 1`` all members of all
+        instances execute concurrently; the reduction to the per-instance
+        winner happens deterministically in submission order (ties broken
+        by the position in ``members``).
         """
         members = list(DEFAULT_MEMBERS) if members is None else list(members)
         if not members:
@@ -141,15 +152,15 @@ class Portfolio:
         # so two spellings of the same pipeline share one cache entry
         canonical = {member: resolve_member(member) for member in members}
         prunable = {member: is_prunable_member(member) for member in canonical}
-        if engine is None:
-            engine = ExperimentEngine(
+        if session is None:
+            session = engine.session if engine is not None else Session(
                 workers=self.workers if workers is None else workers,
                 cache_dir=self.cache_dir,
                 results_path=self.results_path,
                 resume=self.resume,
             )
         dags = list(dags)
-        jobs = [
+        plan = RunPlan.from_jobs([
             ExperimentJob.make("portfolio", dag, self.config, member=canonical[member], **(
                 # only members with prunable stages (ilp/refine) understand
                 # the parameter; keeping it off the other jobs keeps their
@@ -160,27 +171,41 @@ class Portfolio:
             ))
             for dag in dags
             for member in members
-        ]
+        ])
         # shared-prefix reuse: members with a common stage prefix (e.g. "m"
         # and "m|refine") evaluate it once per instance when jobs execute in
         # this process; the scope's stats feed the table footer
         with stage_reuse_scope() as reuse:
-            flat = engine.run(jobs)
+            flat = session.run(plan)
         self.last_reuse = reuse.stats
+        return reduce_to_portfolio_rows(members, dags, flat)
 
-        out: List[PortfolioResult] = []
-        for i, dag in enumerate(dags):
-            row = PortfolioResult(instance_name=dag.name, num_nodes=dag.num_nodes)
-            for j, member in enumerate(members):
-                result: InstanceResult = flat[i * len(members) + j]
-                cost = result.extra_costs.get("member_cost", result.ilp_cost)
-                row.member_costs[member] = cost
-                row.member_status[member] = result.solver_status
-                if cost < row.best_cost:  # strict: first member wins ties
-                    row.best_cost = cost
-                    row.best_member = member
-            out.append(row)
-        return out
+
+def reduce_to_portfolio_rows(
+    members: Sequence[str],
+    dags: Sequence[ComputationalDag],
+    flat: Sequence[InstanceResult],
+) -> List[PortfolioResult]:
+    """Reduce an instance-major ``members x dags`` result batch to one
+    :class:`PortfolioResult` per instance (the winner-per-instance view).
+
+    This is *the* reduction of the portfolio (``repro exec run`` shares
+    it): winner = strictly lowest ``member_cost``, ties keep the first
+    member in ``members`` order.
+    """
+    out: List[PortfolioResult] = []
+    for i, dag in enumerate(dags):
+        row = PortfolioResult(instance_name=dag.name, num_nodes=dag.num_nodes)
+        for j, member in enumerate(members):
+            result = flat[i * len(members) + j]
+            cost = result.extra_costs.get("member_cost", result.ilp_cost)
+            row.member_costs[member] = cost
+            row.member_status[member] = result.solver_status
+            if cost < row.best_cost:  # strict: first member wins ties
+                row.best_cost = cost
+                row.best_member = member
+        out.append(row)
+    return out
 
 
 def format_portfolio_table(

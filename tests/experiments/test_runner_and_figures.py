@@ -14,6 +14,8 @@ from repro.experiments.runner import (
     _env_int,
     dataset_limit,
     dataset_scale,
+    env_bench_workers,
+    env_cache_dir,
     run_divide_and_conquer_instance,
     run_instance,
     run_instance_with_baselines,
@@ -109,6 +111,48 @@ class TestEnvParsingHelpers:
         assert _env_int("REPRO_TEST_KNOB", 1) == 3
         assert _env_float("REPRO_TEST_KNOB", 1.0) == 3.0
         assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+    # REPRO_BENCH_WORKERS / REPRO_CACHE_DIR: the engine/session env knobs
+    # follow the same warn-and-fall-back convention as REPRO_ILP_BACKEND
+    # and REPRO_BENCH_SCALE
+    def test_bench_workers_unset_and_valid(self, monkeypatch, recwarn):
+        monkeypatch.delenv("REPRO_BENCH_WORKERS", raising=False)
+        assert env_bench_workers() == 1
+        assert env_bench_workers(3) == 3
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "4")
+        assert env_bench_workers() == 4
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+    def test_bench_workers_malformed_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "many")
+        with pytest.warns(UserWarning, match="REPRO_BENCH_WORKERS"):
+            assert env_bench_workers(2) == 2
+
+    def test_bench_workers_non_positive_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "0")
+        with pytest.warns(UserWarning, match="REPRO_BENCH_WORKERS"):
+            assert env_bench_workers() == 1
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "-3")
+        with pytest.warns(UserWarning, match="REPRO_BENCH_WORKERS"):
+            assert env_bench_workers(2) == 2
+
+    def test_cache_dir_unset_and_valid(self, monkeypatch, tmp_path, recwarn):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert env_cache_dir() is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert env_cache_dir() is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "fresh"))
+        assert env_cache_dir() == str(tmp_path / "fresh")  # may not exist yet
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert env_cache_dir() == str(tmp_path)
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+    def test_cache_dir_existing_file_warns_and_disables(self, monkeypatch, tmp_path):
+        not_a_dir = tmp_path / "occupied.json"
+        not_a_dir.write_text("{}")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(not_a_dir))
+        with pytest.warns(UserWarning, match="REPRO_CACHE_DIR"):
+            assert env_cache_dir() is None
 
 
 class TestRunners:
