@@ -20,7 +20,12 @@ Seven sub-commands are provided:
   branches, deterministic winner), ``stage@backend`` pins, per-stage
   ``budget=<s>s`` wall-clock limits (``--budget`` applies a default to
   every stage) and the ``key={a,b,c}`` sweep syntax expanding to member
-  families;
+  families.  Plans also shard across processes or machines:
+  ``exec run --spawn-shards N`` fork-joins locally, ``exec run --shards N
+  --shard-id I`` runs one worker shard (share ``--cache-dir``; each shard
+  writes ``FILE.jsonl.shard<I>of<N>``), and ``exec merge`` stable-merges
+  the per-shard files back into plan order — byte-identical to a
+  single-process run;
 * ``experiment`` — run one of the paper's table experiments and print the
   comparison against the paper's reference values;
 * ``portfolio``  — run a scheduler portfolio over a dataset and report the
@@ -517,22 +522,20 @@ def _validate_members(members, _warnings):
     return valid, resolved
 
 
-def _cmd_exec_run(args: argparse.Namespace) -> int:
-    """Run pipeline specs over a dataset through one Session, streaming
-    per-job results as they complete and reducing to the best-per-instance
-    table at the end (the portfolio view)."""
+def _exec_plan_from_args(args: argparse.Namespace):
+    """Shared by ``exec run`` and ``exec merge``: resolve the members, the
+    dataset and the config, and build the (deterministic) run plan.  The
+    merge command rebuilds the exact plan of the shard runs from the same
+    flags, because both shard assignment and the merged record order are
+    functions of the plan."""
     import warnings as _warnings
 
     from repro.exceptions import ConfigurationError
-    from repro.exec import Session, plan_pipelines
+    from repro.exec import plan_pipelines
     from repro.experiments.datasets import small_dataset, tiny_dataset
     from repro.experiments.runner import ExperimentConfig
     from repro.pipeline import with_default_budget
-    from repro.portfolio import (
-        DEFAULT_MEMBERS,
-        format_portfolio_table,
-        reduce_to_portfolio_rows,
-    )
+    from repro.portfolio import DEFAULT_MEMBERS
 
     if args.budget is not None and args.budget <= 0:
         raise ConfigurationError("--budget must be positive (seconds)")
@@ -572,24 +575,117 @@ def _cmd_exec_run(args: argparse.Namespace) -> int:
             else small_dataset(scale=args.scale, limit=args.limit))
     prune_gap = None if args.no_prune else args.prune_gap
     plan = plan_pipelines(members, dags, config, prune_gap=prune_gap)
+    return members, dags, config, plan, prune_gap
+
+
+def _event_line(done, total, instance, member, result, source) -> str:
+    cost = result.extra_costs.get("member_cost", result.ilp_cost)
+    return (f"  [{done:>3d}/{total}] {instance:<20s} "
+            f"{member:<44s} cost={cost:<10g} ({source}) "
+            f"{result.solver_status}")
+
+
+def _validate_shard_args(args) -> None:
+    from repro.exceptions import ConfigurationError
+
+    if args.spawn_shards is not None:
+        if args.shards is not None or args.shard_id is not None:
+            raise ConfigurationError(
+                "--spawn-shards is the local fork-join mode and excludes the "
+                "manual --shards/--shard-id worker mode"
+            )
+        if args.spawn_shards < 1:
+            raise ConfigurationError("--spawn-shards must be >= 1")
+        return
+    if args.shard_id is not None and args.shards is None:
+        raise ConfigurationError("--shard-id requires --shards N")
+    if args.shards is not None:
+        if args.shard_id is None:
+            raise ConfigurationError(
+                "--shards needs --shard-id I (run one worker shard per "
+                "invocation, then 'repro exec merge'); for a local "
+                "fork-join use --spawn-shards N instead"
+            )
+        if not args.results:
+            raise ConfigurationError(
+                "--shards/--shard-id requires --results FILE.jsonl: the "
+                "shard writes FILE.jsonl.shard<I>of<N> for the merge"
+            )
+
+
+def _cmd_exec_run(args: argparse.Namespace) -> int:
+    """Run pipeline specs over a dataset through one Session, streaming
+    per-job results as they complete and reducing to the best-per-instance
+    table at the end (the portfolio view).  With --shards/--shard-id the
+    invocation becomes one worker shard of the plan; with --spawn-shards N
+    it becomes the local fork-join coordinator."""
+    from repro.exec import Session, shard_plan, shard_results_path
+    from repro.portfolio import format_portfolio_table, reduce_to_portfolio_rows
+
+    _validate_shard_args(args)
+    members, dags, config, plan, prune_gap = _exec_plan_from_args(args)
+
+    if args.shards is not None:
+        # worker mode: execute exactly this shard's sub-plan, writing the
+        # per-shard JSONL file next to the merged --results path
+        shard = shard_plan(plan, args.shards, args.shard_id)
+        shard_path = shard_results_path(args.results, args.shards, args.shard_id)
+        session = Session(
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            results_path=shard_path,
+            resume=args.resume,
+        )
+        print(f"shard {args.shard_id} of {args.shards}: "
+              f"{len(shard.plan)}/{len(plan)} jobs ({len(dags)} instances x "
+              f"{len(members)} pipelines), {session.workers} worker slot(s) "
+              f"-> {shard_path}")
+        done = 0
+        for event in session.stream(shard.plan):
+            done += 1
+            member = members[shard.indices[event.index] % len(members)]
+            print(_event_line(done, len(shard.plan), event.instance, member,
+                              event.result, event.source))
+        print(f"session: {session.stats.describe()}")
+        print(f"merge once every shard has run: repro exec merge "
+              f"--shards {args.shards} --results {args.results} "
+              f"(+ the same spec/dataset flags)")
+        return 0
+
     session = Session(
         workers=args.workers,
         cache_dir=args.cache_dir,
         results_path=args.results,
         resume=args.resume,
     )
-    print(f"session: {len(plan)} jobs ({len(dags)} instances x "
-          f"{len(members)} pipelines), {session.workers} worker slot(s)")
     results = [None] * len(plan)
-    done = 0
-    for event in session.stream(plan):
-        results[event.index] = event.result
-        done += 1
-        cost = event.result.extra_costs.get("member_cost", event.result.ilp_cost)
-        member = members[event.index % len(members)]
-        print(f"  [{done:>3d}/{len(plan)}] {event.instance:<20s} "
-              f"{member:<44s} cost={cost:<10g} ({event.source}) "
-              f"{event.result.solver_status}")
+    if args.spawn_shards is not None:
+        # coordinator mode: fork-join the plan over shard processes, then
+        # stable-merge the per-shard JSONL files back into --results
+        from repro.exec import shard_assignment
+
+        assignment = shard_assignment(plan, args.spawn_shards)
+        print(f"session: {len(plan)} jobs ({len(dags)} instances x "
+              f"{len(members)} pipelines), {args.spawn_shards} shard "
+              f"process(es) x {session.workers} worker slot(s)")
+        results = session.run_sharded(plan, args.spawn_shards)
+        for i, result in enumerate(results):
+            member = members[i % len(members)]
+            print(_event_line(i + 1, len(plan), result.instance_name, member,
+                              result, f"shard {assignment[i]}"))
+        if args.results:
+            print(f"merged {args.spawn_shards} shard file(s) into "
+                  f"{args.results} (plan order, byte-stable)")
+    else:
+        print(f"session: {len(plan)} jobs ({len(dags)} instances x "
+              f"{len(members)} pipelines), {session.workers} worker slot(s)")
+        done = 0
+        for event in session.stream(plan):
+            results[event.index] = event.result
+            done += 1
+            member = members[event.index % len(members)]
+            print(_event_line(done, len(plan), event.instance, member,
+                              event.result, event.source))
     print()
     print(format_portfolio_table(reduce_to_portfolio_rows(members, dags, results)))
     if args.budget is not None:
@@ -597,6 +693,37 @@ def _cmd_exec_run(args: argparse.Namespace) -> int:
               f"(spec overrides win; part of the job hash)")
     print(f"ilp backend: {config.ilp_backend}")
     print(f"session: {session.stats.describe()}")
+    return 0
+
+
+def _cmd_exec_merge(args: argparse.Namespace) -> int:
+    """Stable-merge the per-shard JSONL files of a manual sharded run
+    (``exec run --shards N --shard-id I`` per shard) back into plan order,
+    then print the portfolio reduction of the merged results."""
+    from repro.exceptions import ConfigurationError
+    from repro.exec import merge_shard_logs
+    from repro.experiments.reporting import iter_jsonl_records
+    from repro.experiments.runner import InstanceResult
+    from repro.portfolio import format_portfolio_table, reduce_to_portfolio_rows
+
+    if not args.results:
+        raise ConfigurationError(
+            "--results FILE.jsonl is required: it is the merge target and "
+            "the prefix of the per-shard files (FILE.jsonl.shard<I>of<N>)"
+        )
+    members, dags, config, plan, _ = _exec_plan_from_args(args)
+    target = merge_shard_logs(plan, args.results, args.shards)
+    print(f"merged {args.shards} shard file(s) into {target} "
+          f"({len(plan)} plan jobs, plan order, byte-stable)")
+    recorded = {
+        str(record["key"]): record["result"]
+        for record in iter_jsonl_records(target)
+    }
+    results = [
+        InstanceResult.from_dict(recorded[node.job.key()]) for node in plan
+    ]
+    print()
+    print(format_portfolio_table(reduce_to_portfolio_rows(members, dags, results)))
     return 0
 
 
@@ -731,40 +858,74 @@ def build_parser() -> argparse.ArgumentParser:
         "exec", help="the unified async execution core (repro.exec)"
     )
     exec_sub = execp.add_subparsers(dest="action", required=True)
+
+    def add_exec_plan_arguments(p: argparse.ArgumentParser) -> None:
+        """The plan-defining flags shared by `exec run` and `exec merge`
+        (the merge rebuilds the shard runs' plan from the same flags)."""
+        p.add_argument("--pipeline", action="append", default=None,
+                       metavar="SPEC",
+                       help="add one pipeline spec (repeatable); supports "
+                            "race(a,b,...), budget=<s>s, stage@backend and "
+                            "the sweep syntax key={a,b,c}")
+        p.add_argument("--members", default=None,
+                       help="comma-separated legacy member names to add "
+                            "(default when nothing is given: the default "
+                            "portfolio members)")
+        p.add_argument("--which", choices=["tiny", "small"], default="tiny")
+        p.add_argument("--scale", choices=["default", "paper"], default="default")
+        p.add_argument("--limit", type=int, default=None,
+                       help="only the first N instances")
+        p.add_argument("--processors", "-p", type=int, default=4)
+        p.add_argument("--time-limit", type=float, default=5.0)
+        add_backend_argument(p)
+        p.add_argument("--budget", type=float, default=None,
+                       help="wall-clock budget in seconds applied to every "
+                            "stage lacking an explicit budget=<s>s option "
+                            "(part of the canonical spec and job hash)")
+        p.add_argument("--prune-gap", type=float, default=0.0,
+                       help="bound-aware per-stage pruning gap "
+                            "(default 0.0 = skip only provably optimal "
+                            "incumbents)")
+        p.add_argument("--no-prune", action="store_true",
+                       help="disable bound-aware pruning")
+        add_engine_arguments(p)
+        add_refine_arguments(p, with_switch=False)
+
     exec_run = exec_sub.add_parser(
         "run",
         help="run pipeline specs over a dataset through one Session, "
-             "streaming per-job results as they complete",
+             "streaming per-job results as they complete (optionally as "
+             "one worker shard, or fork-joined over shard processes)",
     )
-    exec_run.add_argument("--pipeline", action="append", default=None,
-                          metavar="SPEC",
-                          help="add one pipeline spec (repeatable); supports "
-                               "race(a,b,...), budget=<s>s, stage@backend and "
-                               "the sweep syntax key={a,b,c}")
-    exec_run.add_argument("--members", default=None,
-                          help="comma-separated legacy member names to add "
-                               "(default when nothing is given: the default "
-                               "portfolio members)")
-    exec_run.add_argument("--which", choices=["tiny", "small"], default="tiny")
-    exec_run.add_argument("--scale", choices=["default", "paper"], default="default")
-    exec_run.add_argument("--limit", type=int, default=None,
-                          help="only the first N instances")
-    exec_run.add_argument("--processors", "-p", type=int, default=4)
-    exec_run.add_argument("--time-limit", type=float, default=5.0)
-    add_backend_argument(exec_run)
-    exec_run.add_argument("--budget", type=float, default=None,
-                          help="wall-clock budget in seconds applied to every "
-                               "stage lacking an explicit budget=<s>s option "
-                               "(part of the canonical spec and job hash)")
-    exec_run.add_argument("--prune-gap", type=float, default=0.0,
-                          help="bound-aware per-stage pruning gap "
-                               "(default 0.0 = skip only provably optimal "
-                               "incumbents)")
-    exec_run.add_argument("--no-prune", action="store_true",
-                          help="disable bound-aware pruning")
-    add_engine_arguments(exec_run)
-    add_refine_arguments(exec_run, with_switch=False)
+    add_exec_plan_arguments(exec_run)
+    exec_run.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="worker mode: split the plan into N shards by "
+                               "job index (dependency chains stay within one "
+                               "shard) and run only --shard-id; requires "
+                               "--results (the shard writes "
+                               "FILE.jsonl.shard<I>of<N>); share --cache-dir "
+                               "across shards, then 'repro exec merge'")
+    exec_run.add_argument("--shard-id", type=int, default=None, metavar="I",
+                          help="which shard (0-based) this invocation runs")
+    exec_run.add_argument("--spawn-shards", type=int, default=None,
+                          metavar="N",
+                          help="local fork-join: run the plan as N shard "
+                               "processes (each with --workers slots) and "
+                               "stable-merge the per-shard JSONL files back "
+                               "into --results (byte-identical to a "
+                               "single-process run)")
     exec_run.set_defaults(func=_cmd_exec_run)
+
+    exec_merge = exec_sub.add_parser(
+        "merge",
+        help="stable-merge the per-shard JSONL files of a manual sharded "
+             "run back into plan order (pass the same spec/dataset flags "
+             "as the shard runs, plus --shards and --results)",
+    )
+    add_exec_plan_arguments(exec_merge)
+    exec_merge.add_argument("--shards", type=int, required=True, metavar="N",
+                            help="shard count the plan was split into")
+    exec_merge.set_defaults(func=_cmd_exec_merge)
 
     port = sub.add_parser("portfolio", help="run a scheduler portfolio over a dataset")
     port.add_argument("--members", default=None,

@@ -6,7 +6,12 @@ pipeline-stage nodes — run on an asyncio core with bounded worker slots and
 streaming :class:`ResultEvent`\\ s.  The content-hash result cache, JSONL
 streaming + resume, and in-pipeline concurrency slots (used by ``race``
 stages) are session services; the legacy ``ExperimentEngine`` and
-``Portfolio`` entry points are thin shims over a session.
+``Portfolio`` entry points are thin shims over a session.  Plans also
+split across processes or machines (:mod:`repro.exec.shard`):
+``Session.run_sharded(plan, shards)`` fork-joins locally, and the CLI's
+``repro exec run --shards N --shard-id I`` / ``repro exec merge`` pair
+runs shards anywhere that shares the cache directory, with the per-shard
+JSONL files stable-merged back into plan order.
 
 Quick start::
 
@@ -19,11 +24,20 @@ Quick start::
 
 from repro.exec.plan import PlanNode, RunPlan, as_plan, plan_pipelines
 from repro.exec.session import ResultEvent, Session, SessionStats
+from repro.exec.shard import (
+    PlanShard,
+    merge_shard_logs,
+    run_sharded,
+    shard_assignment,
+    shard_plan,
+    shard_results_path,
+)
 from repro.exec.slots import branch_slots, slot_scope
 from repro.exec.store import ResultCache, ResultLog
 
 __all__ = [
     "PlanNode",
+    "PlanShard",
     "ResultCache",
     "ResultEvent",
     "ResultLog",
@@ -32,6 +46,11 @@ __all__ = [
     "SessionStats",
     "as_plan",
     "branch_slots",
+    "merge_shard_logs",
     "plan_pipelines",
+    "run_sharded",
+    "shard_assignment",
+    "shard_plan",
+    "shard_results_path",
     "slot_scope",
 ]

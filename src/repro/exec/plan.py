@@ -93,6 +93,30 @@ class RunPlan:
     def index_of(self, node_id: str) -> int:
         return self._ids[node_id]
 
+    @property
+    def has_edges(self) -> bool:
+        """True when any node carries an ``after=`` ordering edge."""
+        return any(node.after for node in self.nodes)
+
+    def subset(self, indices: Iterable[int]) -> "RunPlan":
+        """A new plan over the given node positions (in ascending order).
+
+        Node ids and edges are preserved, so the subset must be closed
+        under ``after=`` dependencies — picking a node without its
+        dependency raises the usual unknown-node
+        :class:`~repro.exceptions.ConfigurationError`.  This is the
+        building block of sharded execution (:mod:`repro.exec.shard`),
+        whose assignment keeps dependency chains within one shard.
+        """
+        positions = sorted({int(i) for i in indices})
+        for i in positions:
+            if not 0 <= i < len(self.nodes):
+                raise ConfigurationError(
+                    f"plan subset index {i} out of range for a plan of "
+                    f"{len(self.nodes)} nodes"
+                )
+        return RunPlan(self.nodes[i] for i in positions)
+
 
 def as_plan(plan_or_jobs) -> RunPlan:
     """Coerce a RunPlan, a single job, or a job sequence into a RunPlan."""

@@ -244,6 +244,36 @@ class Session:
         """Convenience wrapper: run a single job."""
         return self.run([job])[0]
 
+    def run_sharded(self, plan, shards: int) -> List[InstanceResult]:
+        """Fork-join ``plan`` over ``shards`` worker processes.
+
+        The single-machine coordinator mode of :mod:`repro.exec.shard`:
+        the plan is deterministically partitioned by job index (dependency
+        chains stay within one shard), every shard runs in its own process
+        as a session with this session's settings — sharing this session's
+        ``cache_dir``, writing a per-shard JSONL file — and the per-shard
+        files are stable-merged back into ``results_path`` in plan order
+        (byte-identical to a single-process run of the same plan whenever
+        the job results are, e.g. replayed from the shared cache).
+        Results return in plan order; shard counters accumulate into
+        :attr:`stats`.
+        """
+        from repro.exec.shard import run_sharded
+
+        results = run_sharded(
+            as_plan(plan),
+            shards,
+            workers=self.workers,
+            cache_dir=self.cache.cache_dir,
+            results_path=self.log.results_path,
+            resume=self.resume,
+            job_timeout=self.job_timeout,
+            stats=self.stats,
+        )
+        # the merge rewrote the results file underneath this session's log
+        self.log.invalidate()
+        return results
+
     # ------------------------------------------------------------------
     # pipeline facade
     # ------------------------------------------------------------------

@@ -14,13 +14,29 @@ Two stores, both keyed by the job content hash
 
 Both were previously private to ``ExperimentEngine``; they are now session
 services shared by every execution surface (engine shim, portfolio,
-``repro exec run``).
+``repro exec run`` — including its sharded coordinator/worker mode,
+:mod:`repro.exec.shard`).
+
+Multi-process contract (what sharded execution relies on):
+
+* :class:`ResultCache` is safe for any number of concurrent writer and
+  reader *processes* on one cache directory: every ``store`` writes a
+  unique temp file and atomically ``os.replace``\\ s it over the entry, so
+  readers only ever see a complete old or new entry, and unreadable or
+  unwritable entries degrade to cache misses instead of failing the run.
+* :class:`ResultLog` stays a **single-appender** store: concurrent
+  appenders to one JSONL file would interleave resume indices and break
+  the byte-stable plan ordering.  Sharded runs therefore give every shard
+  its own file (:func:`repro.exec.shard.shard_results_path`) and
+  stable-merge them back into plan order afterwards.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
@@ -43,29 +59,71 @@ class ResultCache:
     def path(self, key: str) -> Optional[Path]:
         if self.cache_dir is None:
             return None
-        return self.cache_dir / f"{key}.json"
+        # name concatenation, not with_suffix: a key containing a dot must
+        # still map to exactly "<key>.json" (with_suffix would clobber the
+        # part after the key's last dot)
+        return self.cache_dir / (key + ".json")
 
     def load(self, key: str) -> Optional["InstanceResult"]:
         from repro.experiments.runner import InstanceResult
 
         path = self.path(key)
-        if path is None or not path.is_file():
+        if path is None:
             return None
         try:
-            return InstanceResult.from_dict(json.loads(path.read_text()))
+            text = path.read_text()
+        except OSError:
+            # missing, unreadable, or occupied by a directory: a cache miss
+            return None
+        try:
+            return InstanceResult.from_dict(json.loads(text))
         except (ValueError, KeyError, TypeError):
             # a corrupt cache entry is treated as a miss and overwritten
             return None
 
     def store(self, key: str, result: "InstanceResult") -> None:
-        """Write (or repair) the cache entry for ``key`` (atomic replace)."""
+        """Write (or repair) the cache entry for ``key``.
+
+        Safe under concurrent writer processes sharing one cache directory
+        (the sharded-execution layout): each writer stages the entry in its
+        own unique temp file (``tempfile.mkstemp``), then atomically
+        ``os.replace``\\ s it over ``<key>.json`` — readers never observe a
+        torn entry, and the last completed writer wins.  A store that fails
+        at the filesystem level (disk full, permissions, the entry path
+        occupied by a directory) warns and leaves the run uncached instead
+        of crashing it.
+        """
         path = self.path(key)
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(result.to_dict()))
-        os.replace(tmp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".store-", suffix=".tmp"
+            )
+        except OSError as exc:
+            warnings.warn(
+                f"result cache store failed for key {key!r} ({exc}); "
+                f"continuing without caching this result",
+                UserWarning,
+                stacklevel=2,
+            )
+            return
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(result.to_dict()))
+            os.replace(tmp, path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            warnings.warn(
+                f"result cache store failed for key {key!r} ({exc}); "
+                f"continuing without caching this result",
+                UserWarning,
+                stacklevel=2,
+            )
 
 
 class ResultLog:
@@ -73,10 +131,14 @@ class ResultLog:
 
     The file is parsed at most once per log instance; afterwards the
     in-memory index is kept current by :meth:`append` (one log instance is
-    the file's only appender, matching the engine's historical contract).
-    Keys already present in the file — or already appended by this instance
-    — are skipped, so re-running a batch against the same results file
-    never double-counts a job.
+    the file's only appender, matching the engine's historical contract —
+    concurrent appender *processes* must not share one file, which is why
+    sharded runs write per-shard files and merge them afterwards, see
+    :mod:`repro.exec.shard`).  Keys already present in the file — or
+    already appended by this instance — are skipped, so re-running a batch
+    against the same results file never double-counts a job.  The file is
+    streamed line by line when first indexed, so resuming a very large
+    results file does not hold the whole file in memory.
     """
 
     def __init__(self, results_path: Optional[PathLike] = None) -> None:
@@ -104,6 +166,15 @@ class ResultLog:
         self._streamed_keys.update(recorded)
         self._recorded_index = recorded
         return recorded
+
+    def invalidate(self) -> None:
+        """Drop the parsed index so the next read re-parses the file.
+
+        Needed when the file changes underneath this instance — e.g. after
+        :func:`repro.exec.shard.merge_shard_logs` rewrote it in plan order.
+        """
+        self._recorded_index = None
+        self._streamed_keys = set()
 
     def append(self, key: str, job, result: "InstanceResult") -> None:
         """Append one result record (deduplicated by job key)."""

@@ -34,9 +34,11 @@ module provides the architectural seam all experiment batches go through:
 The engine is deliberately scheduler-agnostic: job kinds are dispatched in
 :func:`execute_job`, and new kinds (e.g. the scheduler portfolio in
 :mod:`repro.portfolio`) plug in without touching the execution core.
-Callers that want streaming events, job graphs with ordering edges, or the
-in-pipeline concurrency of ``race(...)`` stages should use the session API
-directly (:mod:`repro.exec`).
+Callers that want streaming events, job graphs with ordering edges, the
+in-pipeline concurrency of ``race(...)`` stages, or coordinator/worker
+sharding across processes and machines (``Session.run_sharded``,
+:mod:`repro.exec.shard`) should use the session API directly
+(:mod:`repro.exec`).
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.experiments.runner import InstanceResult, geometric_mean
 
@@ -94,26 +94,27 @@ def write_jsonl(results: Sequence[InstanceResult], path: PathLike) -> None:
             handle.write(json.dumps({"instance": res.instance_name, "result": res.to_dict()}) + "\n")
 
 
-def iter_jsonl_records(path: PathLike) -> List[dict]:
-    """All well-formed records (dicts with a ``result`` key) of a JSONL
-    results file, in file order.
+def iter_jsonl_records(path: PathLike) -> Iterator[dict]:
+    """Yield the well-formed records (dicts with a ``result`` key) of a
+    JSONL results file, in file order.
 
-    Malformed lines (e.g. a truncated final line after a crash) are skipped;
-    this is the single parsing routine shared by :func:`read_jsonl` and the
-    experiment engine's resume logic.
+    A true generator: the file is streamed line by line, so resuming a
+    ~10\\ :sup:`5`-row results file never materializes the whole file in
+    memory.  Malformed lines (e.g. a truncated final line after a crash)
+    are skipped; this is the single parsing routine shared by
+    :func:`read_jsonl` and the execution core's resume logic.
     """
-    records: List[dict] = []
-    for line in Path(path).read_text().splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-            record["result"] = dict(record["result"])
-        except (ValueError, KeyError, TypeError):
-            continue
-        records.append(record)
-    return records
+    with open(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                record["result"] = dict(record["result"])
+            except (ValueError, KeyError, TypeError):
+                continue
+            yield record
 
 
 def read_jsonl(path: PathLike) -> List[InstanceResult]:

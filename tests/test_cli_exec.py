@@ -102,6 +102,67 @@ class TestExecRun:
                 ])
 
 
+class TestExecSharded:
+    ARGS = [
+        "--members", "bspg+clairvoyant,cilk+lru",
+        "--limit", "2", "--time-limit", "1",
+    ]
+
+    def test_spawn_shards_merges_byte_identically(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        single = tmp_path / "single.jsonl"
+        merged = tmp_path / "merged.jsonl"
+        assert cli.main(["exec", "run", *self.ARGS,
+                         "--cache-dir", cache, "--results", str(single)]) == 0
+        capsys.readouterr()
+        assert cli.main(["exec", "run", *self.ARGS,
+                         "--cache-dir", cache, "--results", str(merged),
+                         "--spawn-shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 shard process(es)" in out
+        assert "(shard 0)" in out and "(shard 1)" in out
+        assert "winner" in out  # the portfolio reduction still prints
+        assert merged.read_bytes() == single.read_bytes()
+
+    def test_manual_shards_plus_merge_match_single_process(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        single = tmp_path / "single.jsonl"
+        manual = tmp_path / "manual.jsonl"
+        assert cli.main(["exec", "run", *self.ARGS,
+                         "--cache-dir", cache, "--results", str(single)]) == 0
+        for shard_id in ("0", "1"):
+            assert cli.main(["exec", "run", *self.ARGS,
+                             "--cache-dir", cache, "--results", str(manual),
+                             "--shards", "2", "--shard-id", shard_id]) == 0
+        out = capsys.readouterr().out
+        assert "shard 0 of 2" in out and "shard 1 of 2" in out
+        assert "repro exec merge" in out
+        assert (tmp_path / "manual.jsonl.shard0of2").is_file()
+        assert cli.main(["exec", "merge", *self.ARGS,
+                         "--results", str(manual), "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 shard file(s)" in out
+        assert "winner" in out
+        assert manual.read_bytes() == single.read_bytes()
+
+    def test_shard_flag_validation(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--shard-id requires"):
+            cli.main(["exec", "run", *self.ARGS, "--shard-id", "0"])
+        with pytest.raises(ConfigurationError, match="--shards needs --shard-id"):
+            cli.main(["exec", "run", *self.ARGS, "--shards", "2"])
+        with pytest.raises(ConfigurationError, match="requires --results"):
+            cli.main(["exec", "run", *self.ARGS,
+                      "--shards", "2", "--shard-id", "0"])
+        with pytest.raises(ConfigurationError, match="excludes the"):
+            cli.main(["exec", "run", *self.ARGS, "--spawn-shards", "2",
+                      "--shards", "2", "--shard-id", "0",
+                      "--results", str(tmp_path / "r.jsonl")])
+        with pytest.raises(ConfigurationError, match="--results"):
+            cli.main(["exec", "merge", *self.ARGS, "--shards", "2"])
+
+
 class TestPortfolioSweeps:
     def test_pipeline_flag_expands_sweeps(self, capsys):
         exit_code = cli.main([
