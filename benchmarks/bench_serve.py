@@ -1,0 +1,84 @@
+"""Benchmark of the online scheduling service (`repro.serve`).
+
+Replays the pinned 10^5-request serve bench trace — a seeded Poisson
+arrival process over the first 6 tiny-dataset templates, answered by the
+load-adaptive policy with repeats served from the content-hash cache — and
+checks the JSON SLO summary against the checked-in trajectory
+``benchmarks/BENCH_serve.json`` **byte for byte**.
+
+The summary contains no wall-clock values (the service timeline is
+virtual), so the comparison is exact on any machine: a mismatch means the
+arrival process, the policy, the virtual cost model or the SLO computation
+changed behaviour, and the trajectory file must be regenerated on purpose:
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --regenerate
+
+Environment knobs: ``REPRO_BENCH_WORKERS`` fans the distinct-job execution
+out over worker processes (cannot change the summary by design),
+``REPRO_CACHE_DIR`` lets repeat invocations skip the solver calls.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.serve import run_serve_bench
+
+from helpers import record_text, env_workers, env_backend
+
+TRAJECTORY = Path(__file__).parent / "BENCH_serve.json"
+
+#: The pinned bench configuration (changing it invalidates the trajectory).
+BENCH_KWARGS = dict(
+    seed=0,
+    requests=100_000,
+    rate=4.0,
+    servers=2,
+    dataset="tiny",
+    scale="default",
+    limit=6,
+)
+
+
+def run_bench() -> str:
+    """The byte-stable JSON rendering of the pinned serve bench."""
+    from repro.experiments.runner import env_cache_dir
+
+    summary = run_serve_bench(
+        workers=env_workers(), cache_dir=env_cache_dir(), **BENCH_KWARGS
+    )
+    return json.dumps(summary, sort_keys=True, indent=2) + "\n"
+
+
+def test_serve_bench_matches_trajectory(benchmark):
+    text = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    summary = json.loads(text)
+    record_text(
+        "serve_bench",
+        text,
+        benchmark=benchmark,
+        requests=summary["slo"]["requests"],
+        distinct_jobs=summary["slo"]["distinct_jobs"],
+        cache_hit_rate=summary["slo"]["cache_hit_rate"],
+        trace_digest=summary["trace_digest"],
+        ilp_backend=env_backend(),
+    )
+    expected = TRAJECTORY.read_text()
+    assert text == expected, (
+        "serve bench summary diverged from benchmarks/BENCH_serve.json; "
+        "if the change is intentional, regenerate with "
+        "'PYTHONPATH=src python benchmarks/bench_serve.py --regenerate'"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    text = run_bench()
+    if "--regenerate" in sys.argv:
+        TRAJECTORY.write_text(text)
+        print(f"wrote {TRAJECTORY}")
+    else:
+        print(text, end="")
+        sys.exit(0 if text == TRAJECTORY.read_text() else 1)

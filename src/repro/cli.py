@@ -1,6 +1,6 @@
 """Command-line interface for the MBSP scheduling library.
 
-Seven sub-commands are provided:
+Eight sub-commands are provided:
 
 * ``schedule``   — generate (or load) a DAG, schedule it with a chosen method
   and print costs, validation results and an optional schedule rendering;
@@ -26,6 +26,13 @@ Seven sub-commands are provided:
   writes ``FILE.jsonl.shard<I>of<N>``), and ``exec merge`` stable-merges
   the per-shard files back into plan order — byte-identical to a
   single-process run;
+* ``serve``      — the online scheduling service (:mod:`repro.serve`):
+  ``serve bench`` replays a seeded Poisson-style arrival trace of DAG
+  scheduling requests through the load-adaptive service loop and prints
+  the SLO summary (p50/p99 latency, throughput, deadline-miss rate,
+  cache-hit rate).  The timeline is virtual, so the JSON summary
+  (``--output FILE.json``) is byte-identical across repeats, machines and
+  ``--workers`` counts — the CI determinism gate diffs two runs;
 * ``experiment`` — run one of the paper's table experiments and print the
   comparison against the paper's reference values;
 * ``portfolio``  — run a scheduler portfolio over a dataset and report the
@@ -71,6 +78,7 @@ python -m repro.cli portfolio --refine --members bspg+clairvoyant,cilk+lru --lim
 python -m repro.cli portfolio --pipeline "bspg+clairvoyant|refine|ilp" --limit 4
 python -m repro.cli portfolio --list-members
 python -m repro.cli dataset --which tiny --scale default
+python -m repro.cli serve bench --seed 7 --requests 5000 --rate 4 --output serve.json
 python -m repro.cli experiment --table 1 --limit 3 --time-limit 5 --workers 4 --cache-dir .repro-cache
 python -m repro.cli experiment --table 1 --backend auto --workers 4
 python -m repro.cli portfolio --members bspg+clairvoyant,cilk+lru,ilp --limit 4 --workers 4
@@ -293,6 +301,44 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
         return _finish_schedule_output(args, result.schedule)
     print(f"status: {result.status()}")
     return 1
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Replay a seeded arrival trace through the online scheduling service
+    and report the SLO summary; --output writes the byte-stable JSON
+    summary the CI determinism gate diffs."""
+    import json as _json
+
+    from repro.experiments.reporting import format_slo_table
+    from repro.serve import run_serve_bench
+
+    summary = run_serve_bench(
+        seed=args.seed,
+        requests=args.requests,
+        rate=args.rate,
+        servers=args.servers,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        results_path=args.results,
+        dataset=args.which,
+        scale=args.scale,
+        limit=args.limit,
+    )
+    text = _json.dumps(summary, sort_keys=True, indent=2)
+    if args.json:
+        print(text)
+    else:
+        print(format_slo_table(
+            summary["slo"],
+            title=f"serve bench (seed {args.seed}, rate {args.rate:g}, "
+                  f"{args.servers} virtual server(s))",
+        ))
+        print(f"trace digest: {summary['trace_digest']}")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"summary written to {args.output}")
+    return 0
 
 
 def _cmd_dataset(args: argparse.Namespace) -> int:
@@ -829,6 +875,53 @@ def build_parser() -> argparse.ArgumentParser:
     data.add_argument("--which", choices=["tiny", "small"], default="tiny")
     data.add_argument("--scale", choices=["default", "paper"], default="default")
     data.set_defaults(func=_cmd_dataset)
+
+    serve = sub.add_parser(
+        "serve", help="the online scheduling service (repro.serve)"
+    )
+    serve_sub = serve.add_subparsers(dest="action", required=True)
+    serve_bench = serve_sub.add_parser(
+        "bench",
+        help="replay a seeded arrival trace through the service loop and "
+             "print the SLO summary (virtual timeline: byte-identical "
+             "across repeats and --workers counts)",
+    )
+    serve_bench.add_argument("--seed", type=int, default=0,
+                             help="arrival-trace seed (trace, deadlines and "
+                                  "template choices are a pure function of it)")
+    serve_bench.add_argument("--requests", type=int, default=100_000,
+                             help="trace length (default 100000; repeats of "
+                                  "the template pool stay cache-hot, so only "
+                                  "a few dozen distinct jobs solve)")
+    serve_bench.add_argument("--rate", type=float, default=4.0,
+                             help="mean arrivals per virtual time unit "
+                                  "(Poisson intensity)")
+    serve_bench.add_argument("--servers", type=int, default=2,
+                             help="virtual service capacity (shapes the "
+                                  "simulated queueing; independent of "
+                                  "--workers by design)")
+    serve_bench.add_argument("--which", choices=["tiny", "small"],
+                             default="tiny", help="template pool dataset")
+    serve_bench.add_argument("--scale", choices=["default", "paper"],
+                             default="default")
+    serve_bench.add_argument("--limit", type=int, default=6,
+                             help="template pool size (first N instances)")
+    serve_bench.add_argument("--workers", type=int, default=1,
+                             help="session worker slots for the distinct-job "
+                                  "execution (cannot change the summary)")
+    serve_bench.add_argument("--cache-dir", default=None,
+                             help="content-hash result cache shared with the "
+                                  "other commands; hot keys skip solving")
+    serve_bench.add_argument("--results", default=None,
+                             help="stream the distinct-job results to this "
+                                  "JSONL file (plan order)")
+    serve_bench.add_argument("--output", default=None,
+                             help="write the JSON summary to this file "
+                                  "(byte-stable; the CI gate diffs two runs)")
+    serve_bench.add_argument("--json", action="store_true",
+                             help="print the JSON summary instead of the "
+                                  "SLO table")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     def add_engine_arguments(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=int, default=1,

@@ -371,9 +371,7 @@ class Session:
                     return execute_job(job)
 
         else:
-            executor = ProcessPoolExecutor(
-                max_workers=min(self.workers, len(pending))
-            )
+            executor = self._make_executor(len(pending))
             call = execute_job
 
         semaphore = asyncio.Semaphore(self.workers)
@@ -403,9 +401,29 @@ class Session:
                     else:
                         future = loop.run_in_executor(executor, call, node.job)
                         if self.job_timeout is not None:
-                            result = await asyncio.wait_for(
-                                future, self.job_timeout
-                            )
+                            # the session timeout is detected *here*, at the
+                            # wait_for call site: on Python >= 3.11
+                            # asyncio.TimeoutError is TimeoutError, so a
+                            # TimeoutError raised by the job itself is
+                            # indistinguishable by type downstream.  The
+                            # shield keeps wait_for from cancelling the
+                            # future, so a job that completed (or raised)
+                            # exactly at the limit is honoured as-is.
+                            try:
+                                result = await asyncio.wait_for(
+                                    asyncio.shield(future), self.job_timeout
+                                )
+                            except (asyncio.TimeoutError, TimeoutError):
+                                if future.done() and not future.cancelled():
+                                    # the job finished: surface its own
+                                    # result or error untouched
+                                    result = future.result()
+                                else:
+                                    raise TimeoutError(
+                                        f"job {node.id!r} exceeded the "
+                                        f"session job_timeout of "
+                                        f"{self.job_timeout:g}s"
+                                    ) from None
                         else:
                             result = await future
             except BaseException as exc:  # noqa: BLE001 - resurfaced below
@@ -422,11 +440,6 @@ class Session:
             for _ in range(len(pending)):
                 i, result, error = await queue.get()
                 if error is not None:
-                    if isinstance(error, asyncio.TimeoutError):
-                        error = TimeoutError(
-                            f"job {nodes[i].id!r} exceeded the session "
-                            f"job_timeout of {self.job_timeout:g}s"
-                        )
                     raise error
                 finished[i] = result
                 while to_persist and to_persist[0] in finished:
@@ -441,6 +454,25 @@ class Session:
             # caller is actually unblocked
             for task in tasks:
                 task.cancel()
+            # jobs that already completed must not be re-executed by a
+            # resumed run: drain any completions still queued, write every
+            # finished result to the cache, and extend the JSONL log while
+            # contiguous in plan order (the log stays plan-ordered, so it
+            # stops at the first unfinished node)
+            while True:
+                try:
+                    j, result, err = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if err is None and result is not None:
+                    finished[j] = result
+            for j in to_persist:
+                if j in finished:
+                    self.stats.executed += 1
+                    self.cache.store(keys[j], finished[j])
+            while to_persist and to_persist[0] in finished:
+                j = to_persist.popleft()
+                self.log.append(keys[j], nodes[j].job, finished[j])
             if executor is not None:
                 executor.shutdown(wait=False, cancel_futures=True)
             raise
@@ -448,6 +480,12 @@ class Session:
             executor.shutdown(wait=True)
 
     # ------------------------------------------------------------------
+    def _make_executor(self, pending_count: int):
+        """The worker pool for non-inline execution (a seam for tests, which
+        substitute a thread pool to exercise the pool failure paths without
+        real processes)."""
+        return ProcessPoolExecutor(max_workers=min(self.workers, pending_count))
+
     @staticmethod
     def _event(
         plan: RunPlan, index: int, key: str, result: InstanceResult, source: str

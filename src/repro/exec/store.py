@@ -139,12 +139,22 @@ class ResultLog:
     against the same results file never double-counts a job.  The file is
     streamed line by line when first indexed, so resuming a very large
     results file does not hold the whole file in memory.
+
+    Appends go through one lazily-opened append handle that stays open for
+    the life of the instance (a 10^5-record service bench would otherwise
+    pay an open/close syscall pair per record).  Every record is flushed
+    after the write, so readers of the file — including this instance's own
+    :meth:`recorded` — always see complete lines.  The handle is released
+    by :meth:`close` (the log is also a context manager) and by
+    :meth:`invalidate`, which must drop it anyway because the file is about
+    to change underneath the instance.
     """
 
     def __init__(self, results_path: Optional[PathLike] = None) -> None:
         self.results_path = Path(results_path) if results_path else None
         self._streamed_keys: set = set()
         self._recorded_index: Optional[Dict[str, dict]] = None
+        self._handle = None
 
     @property
     def enabled(self) -> bool:
@@ -172,23 +182,40 @@ class ResultLog:
 
         Needed when the file changes underneath this instance — e.g. after
         :func:`repro.exec.shard.merge_shard_logs` rewrote it in plan order.
+        Also closes the append handle: it points at the replaced file's old
+        inode, so the next :meth:`append` must reopen the new file.
         """
+        self.close()
         self._recorded_index = None
         self._streamed_keys = set()
+
+    def close(self) -> None:
+        """Release the append handle (reopened lazily by the next append)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def append(self, key: str, job, result: "InstanceResult") -> None:
         """Append one result record (deduplicated by job key)."""
         if self.results_path is None or key in self._streamed_keys:
             return
-        self.results_path.parent.mkdir(parents=True, exist_ok=True)
+        if self._handle is None:
+            self.results_path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.results_path, "a")
         record = {
             "key": key,
             "kind": job.kind,
             "instance": job.instance_name,
             "result": result.to_dict(),
         }
-        with open(self.results_path, "a") as handle:
-            handle.write(json.dumps(record) + "\n")
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
         self._streamed_keys.add(key)
         if self._recorded_index is not None:
             self._recorded_index[key] = record["result"]

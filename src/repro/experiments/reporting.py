@@ -123,6 +123,35 @@ def read_jsonl(path: PathLike) -> List[InstanceResult]:
     return [InstanceResult.from_dict(record["result"]) for record in iter_jsonl_records(path)]
 
 
+def format_slo_table(summary: Dict[str, object], title: str = "") -> str:
+    """Render a serve SLO summary (:meth:`repro.serve.ServiceReport.
+    slo_summary`) as a fixed-width text table.
+
+    Scalar metrics become ``name value`` rows; the ``spec_requests``
+    breakdown becomes one indented row per spec, in the summary's (sorted)
+    spec order.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = f"{'metric':<24s} {'value':>16s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, value in summary.items():
+        if name == "spec_requests":
+            continue
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"{name:<24s} {rendered:>16s}")
+    specs = summary.get("spec_requests")
+    if isinstance(specs, dict) and specs:
+        lines.append("-" * len(header))
+        lines.append("requests per pipeline spec:")
+        for spec, count in specs.items():
+            lines.append(f"  {spec:<36s} {count:>6d}")
+    return "\n".join(lines)
+
+
 def summarize_ratios(results_by_config: Dict[str, Sequence[InstanceResult]]) -> Dict[str, float]:
     """Geometric-mean improvement ratio per configuration (Figure 4 summary)."""
     return {

@@ -1,0 +1,115 @@
+"""Deterministic request arrival processes for the scheduling service.
+
+The online setting of the paper's problem: DAG scheduling requests *arrive
+over time* instead of being handed over as one offline batch.  This module
+generates such request traces — a Poisson-style arrival process
+(exponential inter-arrival times at a configurable mean rate) over a fixed
+pool of benchmark DAGs (:mod:`repro.experiments.datasets`), each request
+carrying a *relative* deadline drawn uniformly from a configured window.
+
+Everything is driven by one :class:`random.Random` seeded from
+:attr:`ArrivalConfig.seed`, so a trace is a pure function of its config:
+golden tests pin traces, and the ``repro serve bench`` determinism gate
+diffs two runs byte-for-byte.  Times are *virtual* (model time units, not
+wall clock) — the service simulator (:mod:`repro.serve.service`) keeps the
+whole timeline virtual precisely so replays are bit-identical across
+machines and worker counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dag.graph import ComputationalDag
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One scheduling request of the arrival trace.
+
+    ``template`` indexes the DAG pool (requests for the same template are
+    the *repeat DAGs* the content-hash cache answers without solving);
+    ``deadline`` is relative to ``arrival``: the request misses its SLO
+    when it finishes after ``arrival + deadline``.
+    """
+
+    index: int
+    arrival: float
+    deadline: float
+    template: int
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Parameters of one seeded arrival trace.
+
+    ``rate`` is the mean number of arrivals per virtual time unit (the
+    Poisson intensity); the relative deadline of each request is uniform in
+    ``[deadline_min, deadline_max]``.  The DAG pool is a prefix of one of
+    the benchmark datasets (``dataset``/``scale``/``limit`` mirror the CLI
+    dataset flags).
+    """
+
+    seed: int = 0
+    requests: int = 64
+    rate: float = 1.0
+    deadline_min: float = 0.5
+    deadline_max: float = 8.0
+    dataset: str = "tiny"
+    scale: str = "default"
+    limit: int = 6
+
+    def validate(self) -> None:
+        if self.requests < 1:
+            raise ConfigurationError("arrival trace needs at least 1 request")
+        if self.rate <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if self.deadline_min <= 0 or self.deadline_max < self.deadline_min:
+            raise ConfigurationError(
+                "deadline window must satisfy 0 < deadline_min <= deadline_max"
+            )
+        if self.dataset not in ("tiny", "small"):
+            raise ConfigurationError(
+                f"unknown dataset {self.dataset!r}; use 'tiny' or 'small'"
+            )
+        if self.limit is not None and self.limit < 1:
+            raise ConfigurationError("dataset limit must be >= 1")
+
+
+def request_pool(config: ArrivalConfig) -> List["ComputationalDag"]:
+    """The DAG templates requests sample from (a seeded dataset prefix)."""
+    from repro.experiments.datasets import small_dataset, tiny_dataset
+
+    config.validate()
+    build = tiny_dataset if config.dataset == "tiny" else small_dataset
+    return build(scale=config.scale, limit=config.limit)
+
+
+def generate_requests(config: ArrivalConfig, pool_size: int) -> List[ServeRequest]:
+    """The seeded arrival trace: ``config.requests`` requests in time order.
+
+    One ``random.Random(seed)`` drives inter-arrival gaps, deadlines and
+    template choices in a fixed draw order, so the trace is reproducible
+    down to the last bit for a given ``(config, pool_size)``.
+    """
+    config.validate()
+    if pool_size < 1:
+        raise ConfigurationError("request pool is empty")
+    rng = random.Random(config.seed)
+    requests: List[ServeRequest] = []
+    clock = 0.0
+    for index in range(config.requests):
+        clock += rng.expovariate(config.rate)
+        deadline = rng.uniform(config.deadline_min, config.deadline_max)
+        template = rng.randrange(pool_size)
+        requests.append(
+            ServeRequest(
+                index=index, arrival=clock, deadline=deadline, template=template
+            )
+        )
+    return requests

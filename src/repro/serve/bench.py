@@ -1,0 +1,86 @@
+"""The serve load harness: replay a big seeded trace, summarize the SLOs.
+
+:func:`run_serve_bench` is the engine behind ``repro serve bench`` and the
+checked-in ``benchmarks/BENCH_serve.json`` trajectory: it replays a seeded
+arrival trace (default sizes reach ~10^5 cache-hot requests — repeats of a
+small template pool, so only a few dozen distinct jobs actually solve) and
+returns a JSON-serializable summary.
+
+The summary deliberately contains **no wall-clock values**: every number is
+a pure function of the configuration, so two runs with the same flags are
+byte-identical once rendered with ``json.dumps(..., sort_keys=True)`` —
+the property the CI ``serve-smoke`` determinism gate asserts with a
+byte-for-byte diff.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.exec import Session
+from repro.serve.arrivals import ArrivalConfig
+from repro.serve.policy import PolicyConfig
+from repro.serve.service import ScheduleService, ServiceConfig
+
+
+def run_serve_bench(
+    seed: int = 0,
+    requests: int = 100_000,
+    rate: float = 4.0,
+    servers: int = 2,
+    workers: int = 1,
+    cache_dir=None,
+    results_path=None,
+    dataset: str = "tiny",
+    scale: str = "default",
+    limit: Optional[int] = 6,
+    config: Optional[ServiceConfig] = None,
+) -> Dict[str, object]:
+    """Run one serve bench and return its deterministic JSON summary.
+
+    Pass ``config`` to override the assembled :class:`ServiceConfig`
+    entirely (the scalar knobs are then ignored).  ``workers``,
+    ``cache_dir`` and ``results_path`` configure the execution session
+    only — by design they cannot change a single byte of the summary.
+    """
+    if config is None:
+        config = ServiceConfig(
+            arrivals=ArrivalConfig(
+                seed=seed,
+                requests=requests,
+                rate=rate,
+                dataset=dataset,
+                scale=scale,
+                limit=limit,
+            ),
+            policy=PolicyConfig(),
+            servers=servers,
+        )
+    session = Session(
+        workers=workers, cache_dir=cache_dir, results_path=results_path
+    )
+    service = ScheduleService(config, session=session)
+    report = service.run()
+    arrivals = config.arrivals
+    summary: Dict[str, object] = {
+        "bench": "serve",
+        "arrivals": {
+            "seed": arrivals.seed,
+            "requests": arrivals.requests,
+            "rate": arrivals.rate,
+            "deadline_min": arrivals.deadline_min,
+            "deadline_max": arrivals.deadline_max,
+            "dataset": arrivals.dataset,
+            "scale": arrivals.scale,
+            "limit": arrivals.limit,
+        },
+        "policy": {
+            "cheap": service.policy.cheap,
+            "steady": service.policy.steady,
+            "rich": service.policy.rich,
+        },
+        "servers": config.servers,
+        "slo": report.slo_summary(),
+        "trace_digest": report.trace_digest(),
+    }
+    return summary

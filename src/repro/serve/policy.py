@@ -1,0 +1,94 @@
+"""Load-adaptive pipeline selection for the scheduling service.
+
+The service answers every request with one scheduler pipeline
+(:mod:`repro.pipeline` spec).  Which pipeline is worth running depends on
+the load the request arrives under: when the queue is deep or the deadline
+is tight, a cheap two-stage heuristic keeps latency bounded; when the
+service is idle, richer pipelines (refinement, ``race(...)``, the ILP) buy
+better schedules with the spare capacity.
+
+The policy is deliberately a pure function of the per-request load
+observables ``(queue_depth, slack)`` — no wall clock, no randomness — so a
+replay of the same arrival trace picks the same spec for every request
+regardless of worker count or machine: the bit-identical-replay guarantee
+of :mod:`repro.serve` rests on it.
+
+The spec tiers are ordered by cost, and the default tiers keep the golden
+cost invariant by construction: every tier starts from the ``baseline``
+schedule (for the default ``P = 4`` the baseline stage *is* BSPg +
+clairvoyant) and only ever appends improving stages, so the cost the
+service reports is never worse than the ``baseline`` member's cost on the
+same instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Spec tiers plus the load thresholds that select between them.
+
+    ``cheap_spec`` answers pressure (queue at least ``pressure_depth`` deep,
+    or slack at most ``tight_slack``), ``rich_spec`` answers idleness
+    (queue at most ``idle_depth`` deep with loose slack) and
+    ``steady_spec`` answers everything in between.  Specs may be legacy
+    member names or raw pipeline specs (``race(...)``/``budget=<s>s``
+    included); they are canonicalized once, at policy construction.
+    """
+
+    cheap_spec: str = "baseline"
+    steady_spec: str = "bspg+clairvoyant"
+    rich_spec: str = "bspg+clairvoyant|refine"
+    pressure_depth: int = 4
+    tight_slack: float = 1.0
+    idle_depth: int = 0
+
+    def validate(self) -> None:
+        if self.pressure_depth <= self.idle_depth:
+            raise ConfigurationError(
+                "policy thresholds must satisfy idle_depth < pressure_depth "
+                f"(got idle_depth={self.idle_depth}, "
+                f"pressure_depth={self.pressure_depth})"
+            )
+        if self.tight_slack < 0:
+            raise ConfigurationError("tight_slack must be >= 0")
+
+
+class AdaptivePolicy:
+    """Maps per-request load observables to a canonical pipeline spec."""
+
+    def __init__(self, config: PolicyConfig = PolicyConfig()) -> None:
+        from repro.portfolio.members import resolve_member
+
+        config.validate()
+        self.config = config
+        # canonicalize once: the job content hashes (and hence the cache
+        # keys) always see the canonical spelling, never the tier aliases
+        self.cheap = resolve_member(config.cheap_spec)
+        self.steady = resolve_member(config.steady_spec)
+        self.rich = resolve_member(config.rich_spec)
+
+    @property
+    def specs(self) -> Tuple[str, str, str]:
+        """The canonical ``(cheap, steady, rich)`` tier specs."""
+        return (self.cheap, self.steady, self.rich)
+
+    def choose(self, queue_depth: int, slack: float) -> str:
+        """The canonical spec for a request arriving under the given load.
+
+        ``queue_depth`` is the number of requests in the system when this
+        one arrives; ``slack`` is the request's relative deadline.
+        Pressure wins over idleness: a deep queue or a tight deadline
+        always gets the cheap tier, even when ``idle_depth`` would match.
+        """
+        cfg = self.config
+        if queue_depth >= cfg.pressure_depth or slack <= cfg.tight_slack:
+            return self.cheap
+        if queue_depth <= cfg.idle_depth:
+            return self.rich
+        return self.steady
