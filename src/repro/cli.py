@@ -1,6 +1,6 @@
 """Command-line interface for the MBSP scheduling library.
 
-Eight sub-commands are provided:
+Nine sub-commands are provided:
 
 * ``schedule``   — generate (or load) a DAG, schedule it with a chosen method
   and print costs, validation results and an optional schedule rendering;
@@ -35,6 +35,15 @@ Eight sub-commands are provided:
   ``--workers`` counts — the CI determinism gate diffs two runs;
 * ``experiment`` — run one of the paper's table experiments and print the
   comparison against the paper's reference values;
+* ``obs``        — the unified tracing & metrics layer (:mod:`repro.obs`):
+  ``obs export`` merges the per-process spill files of a run traced with
+  ``REPRO_TRACE=<dir>`` into one Chrome trace-event file (Perfetto /
+  ``chrome://tracing``) or a flat metrics dump.  ``exec run``,
+  ``pipeline run`` and ``serve bench`` also accept ``--trace FILE`` for
+  the end-to-end shortcut, and ``exec run`` / ``experiment`` /
+  ``serve bench`` accept ``--progress`` for a live stderr progress line
+  (TTY only).  Tracing never changes results: spans and metrics stay out
+  of job fingerprints, cache keys and the serve virtual timeline;
 * ``portfolio``  — run a scheduler portfolio over a dataset and report the
   best pipeline per instance.  Members are pipeline specs: pass legacy names
   through ``--members`` and/or full specs through repeatable ``--pipeline``
@@ -263,7 +272,37 @@ def _cmd_pipeline_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _with_trace(args: argparse.Namespace, body) -> int:
+    """Run ``body()``; with ``--trace FILE`` the run is traced end to end
+    (temporary spill directory, so pool/shard worker processes join in)
+    and the merged Chrome trace-event file is written on the way out."""
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return body()
+    from repro.obs import chrome_trace_file
+
+    with chrome_trace_file(trace_path) as trace:
+        code = body()
+    print(f"chrome trace written to {trace_path} ({trace.span_count} spans; "
+          f"load it in Perfetto or chrome://tracing)")
+    return code
+
+
+def _make_progress(args: argparse.Namespace):
+    """The opt-in ``--progress`` live stderr renderer (``None`` unless
+    asked; the renderer itself is a no-op when stderr is not a TTY)."""
+    if not getattr(args, "progress", False):
+        return None
+    from repro.obs import ProgressRenderer
+
+    return ProgressRenderer()
+
+
 def _cmd_pipeline_run(args: argparse.Namespace) -> int:
+    return _with_trace(args, lambda: _pipeline_run_body(args))
+
+
+def _pipeline_run_body(args: argparse.Namespace) -> int:
     from repro.exec import Session
     from repro.experiments.runner import ExperimentConfig
     from repro.pipeline import canonicalize, with_default_budget
@@ -304,26 +343,34 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    return _with_trace(args, lambda: _serve_bench_body(args))
+
+
+def _serve_bench_body(args: argparse.Namespace) -> int:
     """Replay a seeded arrival trace through the online scheduling service
     and report the SLO summary; --output writes the byte-stable JSON
     summary the CI determinism gate diffs."""
     import json as _json
+    from contextlib import nullcontext
 
     from repro.experiments.reporting import format_slo_table
     from repro.serve import run_serve_bench
 
-    summary = run_serve_bench(
-        seed=args.seed,
-        requests=args.requests,
-        rate=args.rate,
-        servers=args.servers,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        results_path=args.results,
-        dataset=args.which,
-        scale=args.scale,
-        limit=args.limit,
-    )
+    progress = _make_progress(args)
+    with progress if progress is not None else nullcontext():
+        summary = run_serve_bench(
+            seed=args.seed,
+            requests=args.requests,
+            rate=args.rate,
+            servers=args.servers,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            results_path=args.results,
+            dataset=args.which,
+            scale=args.scale,
+            limit=args.limit,
+            progress=progress,
+        )
     text = _json.dumps(summary, sort_keys=True, indent=2)
     if args.json:
         print(text)
@@ -381,6 +428,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.tables import table1, table2, table4
 
     engine = _make_engine(args)
+    progress = _make_progress(args)
+    if progress is not None:
+        progress.attach(engine.session)
     refine_kwargs = (
         {"refine": _refine_config_from_args(args)} if args.refine else {}
     )
@@ -410,6 +460,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print()
     else:
         raise SystemExit("only tables 1, 2 and 4 are runnable from the CLI")
+    if progress is not None:
+        progress.close()
     print(f"engine: {engine.stats.describe()}")
     return 0
 
@@ -660,6 +712,10 @@ def _validate_shard_args(args) -> None:
 
 
 def _cmd_exec_run(args: argparse.Namespace) -> int:
+    return _with_trace(args, lambda: _exec_run_body(args))
+
+
+def _exec_run_body(args: argparse.Namespace) -> int:
     """Run pipeline specs over a dataset through one Session, streaming
     per-job results as they complete and reducing to the best-per-instance
     table at the end (the portfolio view).  With --shards/--shard-id the
@@ -670,6 +726,7 @@ def _cmd_exec_run(args: argparse.Namespace) -> int:
 
     _validate_shard_args(args)
     members, dags, config, plan, prune_gap = _exec_plan_from_args(args)
+    progress = _make_progress(args)
 
     if args.shards is not None:
         # worker mode: execute exactly this shard's sub-plan, writing the
@@ -682,6 +739,8 @@ def _cmd_exec_run(args: argparse.Namespace) -> int:
             results_path=shard_path,
             resume=args.resume,
         )
+        if progress is not None:
+            progress.attach(session)
         print(f"shard {args.shard_id} of {args.shards}: "
               f"{len(shard.plan)}/{len(plan)} jobs ({len(dags)} instances x "
               f"{len(members)} pipelines), {session.workers} worker slot(s) "
@@ -692,6 +751,8 @@ def _cmd_exec_run(args: argparse.Namespace) -> int:
             member = members[shard.indices[event.index] % len(members)]
             print(_event_line(done, len(shard.plan), event.instance, member,
                               event.result, event.source))
+        if progress is not None:
+            progress.close()
         print(f"session: {session.stats.describe()}")
         print(f"merge once every shard has run: repro exec merge "
               f"--shards {args.shards} --results {args.results} "
@@ -704,6 +765,8 @@ def _cmd_exec_run(args: argparse.Namespace) -> int:
         results_path=args.results,
         resume=args.resume,
     )
+    if progress is not None:
+        progress.attach(session)
     results = [None] * len(plan)
     if args.spawn_shards is not None:
         # coordinator mode: fork-join the plan over shard processes, then
@@ -732,6 +795,8 @@ def _cmd_exec_run(args: argparse.Namespace) -> int:
             member = members[event.index % len(members)]
             print(_event_line(done, len(plan), event.instance, member,
                               event.result, event.source))
+    if progress is not None:
+        progress.close()
     print()
     print(format_portfolio_table(reduce_to_portfolio_rows(members, dags, results)))
     if args.budget is not None:
@@ -770,6 +835,47 @@ def _cmd_exec_merge(args: argparse.Namespace) -> int:
     ]
     print()
     print(format_portfolio_table(reduce_to_portfolio_rows(members, dags, results)))
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    """Export the observability data a traced run spilled to disk.
+
+    Reads the ``spans-<pid>.jsonl`` / ``metrics-<pid>.jsonl`` files a run
+    traced with ``REPRO_TRACE=<dir>`` left behind (every process of a
+    sharded or pooled run spills into the same directory) and writes one
+    merged artifact: a Chrome trace-event file or a metrics dump."""
+    import os
+
+    from repro import obs
+    from repro.exceptions import ConfigurationError
+
+    spill = args.spill
+    if spill is None:
+        env = os.environ.get(obs.ENV_TRACE, "").strip()
+        if env and env.lower() not in ("1", "true") and os.path.isdir(env):
+            spill = env
+    if spill is None:
+        raise ConfigurationError(
+            "no spill directory: pass --spill DIR, or set REPRO_TRACE=<dir> "
+            "(the directory a traced run spilled its spans/metrics into)"
+        )
+    if args.format == "metrics" and args.output is None:
+        for line in obs.format_metrics_table(obs.collect_metrics(spill)):
+            print(line)
+        return 0
+    if args.output is None:
+        raise ConfigurationError("--output FILE is required for this format")
+    count = obs.export_trace(args.output, spill_dir=spill, fmt=args.format)
+    what = "span(s)" if args.format == "chrome-trace" else "metric name(s)"
+    print(f"exported {count} {what} from {spill} to {args.output}")
+    if args.format == "chrome-trace":
+        ok, errors = obs.validate_chrome_trace_file(args.output)
+        if not ok:
+            print("trace failed schema validation:")
+            for error in errors[:10]:
+                print(f"  {error}")
+            return 1
     return 0
 
 
@@ -869,6 +975,10 @@ def build_parser() -> argparse.ArgumentParser:
     pipe_run.add_argument("--budget", type=float, default=None,
                           help="wall-clock budget in seconds for every stage "
                                "without an explicit budget=<s>s option")
+    pipe_run.add_argument("--trace", default=None, metavar="FILE",
+                          help="trace the run (stages, race branches, ILP "
+                               "solves) and write a Chrome trace-event file "
+                               "loadable in Perfetto")
     pipe_run.set_defaults(func=_cmd_pipeline_run)
 
     data = sub.add_parser("dataset", help="list the benchmark datasets")
@@ -921,6 +1031,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--json", action="store_true",
                              help="print the JSON summary instead of the "
                                   "SLO table")
+    serve_bench.add_argument("--trace", default=None, metavar="FILE",
+                             help="trace the run (serve phases, session "
+                                  "jobs, solver calls) and write a Chrome "
+                                  "trace-event file; never changes the "
+                                  "summary")
+    serve_bench.add_argument("--progress", action="store_true",
+                             help="live stderr progress line for the "
+                                  "distinct-job execution (TTY only)")
     serve_bench.set_defaults(func=_cmd_serve_bench)
 
     def add_engine_arguments(p: argparse.ArgumentParser) -> None:
@@ -945,6 +1063,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_argument(exp)
     add_engine_arguments(exp)
     add_refine_arguments(exp)
+    exp.add_argument("--progress", action="store_true",
+                     help="live stderr progress line (TTY only)")
     exp.set_defaults(func=_cmd_experiment)
 
     execp = sub.add_parser(
@@ -1007,6 +1127,15 @@ def build_parser() -> argparse.ArgumentParser:
                                "stable-merge the per-shard JSONL files back "
                                "into --results (byte-identical to a "
                                "single-process run)")
+    exec_run.add_argument("--trace", default=None, metavar="FILE",
+                          help="trace the run (session jobs, pipeline "
+                               "stages, race branches, ILP solves — across "
+                               "worker and shard processes) and write a "
+                               "Chrome trace-event file loadable in "
+                               "Perfetto; results stay byte-identical")
+    exec_run.add_argument("--progress", action="store_true",
+                          help="live stderr progress line with jobs "
+                               "done/total and cache hits (TTY only)")
     exec_run.set_defaults(func=_cmd_exec_run)
 
     exec_merge = exec_sub.add_parser(
@@ -1019,6 +1148,30 @@ def build_parser() -> argparse.ArgumentParser:
     exec_merge.add_argument("--shards", type=int, required=True, metavar="N",
                             help="shard count the plan was split into")
     exec_merge.set_defaults(func=_cmd_exec_merge)
+
+    obs_parser = sub.add_parser(
+        "obs", help="observability: export traces and metrics (repro.obs)"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="action", required=True)
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="merge the spill files of a run traced with REPRO_TRACE=<dir> "
+             "into one Chrome trace-event file or metrics dump",
+    )
+    obs_export.add_argument("--spill", default=None, metavar="DIR",
+                            help="spill directory holding the per-process "
+                                 "spans-<pid>.jsonl / metrics-<pid>.jsonl "
+                                 "files (default: REPRO_TRACE when it names "
+                                 "a directory)")
+    obs_export.add_argument("--format", default="chrome-trace",
+                            choices=["chrome-trace", "metrics", "metrics-json"],
+                            help="chrome-trace = Perfetto-loadable trace-event "
+                                 "JSON; metrics = flat text table; "
+                                 "metrics-json = the summary object")
+    obs_export.add_argument("--output", default=None, metavar="FILE",
+                            help="output file (--format metrics prints to "
+                                 "stdout when omitted)")
+    obs_export.set_defaults(func=_cmd_obs_export)
 
     port = sub.add_parser("portfolio", help="run a scheduler portfolio over a dataset")
     port.add_argument("--members", default=None,

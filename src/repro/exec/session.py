@@ -42,6 +42,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, AsyncIterator, Dict, Iterator, List, Optional
 
+from repro import obs
 from repro.exec.plan import RunPlan, as_plan
 from repro.exec.slots import slot_scope
 from repro.exec.store import PathLike, ResultCache, ResultLog
@@ -82,6 +83,8 @@ class ResultEvent:
     instance: str
     result: InstanceResult
     source: str
+    #: the job's member/pipeline spec when it has one (progress display)
+    member: str = ""
 
 
 class Session:
@@ -120,6 +123,9 @@ class Session:
         self.resume = resume
         self.job_timeout = job_timeout
         self.stats = SessionStats()
+        #: optional observer called as ``on_event(event, stats)`` before each
+        #: event is yielded (the ``--progress`` renderer attaches here)
+        self.on_event = None
         if resume and not self.log.enabled:
             warnings.warn(
                 "resume=True without a results_path is a no-op: there is no "
@@ -316,11 +322,42 @@ class Session:
         and their events arrive in completion order.  Cache and JSONL
         writes always happen in plan order, so the stores are byte-stable
         across worker counts.
+
+        This wrapper adds the observability shell around the core: the
+        ``session.run`` span, the :attr:`on_event` hook (progress
+        rendering) and the end-of-run span/metrics flush — none of which
+        touches results, stores or event order.
         """
+        plan = as_plan(plan)
+        traced = obs.tracing_enabled()
+        span = obs.NULL_SCOPE
+        if traced:
+            span = obs.trace_span(
+                "session.run",
+                category="session",
+                jobs=len(plan),
+                workers=self.workers,
+            )
+        before = (self.stats.executed, self.stats.cache_hits, self.stats.resumed)
+        with span:
+            try:
+                async for event in self._astream_inner(plan):
+                    if self.on_event is not None:
+                        self.on_event(event, self.stats)
+                    yield event
+            finally:
+                if traced:
+                    span.set(
+                        executed=self.stats.executed - before[0],
+                        cache_hits=self.stats.cache_hits - before[1],
+                        resumed=self.stats.resumed - before[2],
+                    )
+                    obs.flush_observability()
+
+    async def _astream_inner(self, plan: RunPlan) -> AsyncIterator[ResultEvent]:
+        """The asyncio core behind :meth:`astream` (already a ``RunPlan``)."""
         from repro.experiments.parallel import execute_job
         from repro.experiments.runner import InstanceResult
-
-        plan = as_plan(plan)
         nodes = plan.nodes
         self.stats.total += len(nodes)
         keys = [node.job.key() for node in nodes]
@@ -379,58 +416,80 @@ class Session:
         for i in resolved:
             done_flags[nodes[i].id].set()
         queue: asyncio.Queue = asyncio.Queue()
+        traced = obs.tracing_enabled()
+        # job lifecycle spans chain to the session span explicitly: several
+        # are open at once in this thread, so the stack cannot order them
+        session_span_id = obs.get_tracer().current_span_id() if traced else None
+        busy_slots = [0]
 
         async def run_node(i: int) -> None:
             node = nodes[i]
             try:
+                queued_at = loop.time()
                 for dep in node.after:
                     await done_flags[dep].wait()
                 async with semaphore:
-                    if executor is None:
-                        # inline: block the driving thread for this job,
-                        # exactly like the historical serial engine (the
-                        # job_timeout liveness guard applies to pool
-                        # execution only — the engine's historical
-                        # contract, since a thread cannot be interrupted).
-                        # The cooperative yield first lets the previous
-                        # job's event reach the consumer and gives pending
-                        # cancellations (an abandoned stream) a point to
-                        # land between jobs.
-                        await asyncio.sleep(0)
-                        result = call(node.job)
-                    else:
-                        future = loop.run_in_executor(executor, call, node.job)
-                        if self.job_timeout is not None:
-                            # the session timeout is detected *here*, at the
-                            # wait_for call site: on Python >= 3.11
-                            # asyncio.TimeoutError is TimeoutError, so a
-                            # TimeoutError raised by the job itself is
-                            # indistinguishable by type downstream.  The
-                            # shield keeps wait_for from cancelling the
-                            # future, so a job that completed (or raised)
-                            # exactly at the limit is honoured as-is.
-                            try:
-                                result = await asyncio.wait_for(
-                                    asyncio.shield(future), self.job_timeout
-                                )
-                            except (asyncio.TimeoutError, TimeoutError):
-                                if future.done() and not future.cancelled():
-                                    # the job finished: surface its own
-                                    # result or error untouched
-                                    result = future.result()
-                                else:
-                                    raise TimeoutError(
-                                        f"job {node.id!r} exceeded the "
-                                        f"session job_timeout of "
-                                        f"{self.job_timeout:g}s"
-                                    ) from None
-                        else:
-                            result = await future
+                    busy_slots[0] += 1
+                    job_span = obs.NULL_SCOPE
+                    if traced:
+                        job_span = obs.trace_span_detached(
+                            "session.job",
+                            category="session",
+                            parent=session_span_id,
+                            node=node.id,
+                            kind=node.job.kind,
+                            instance=node.job.instance_name,
+                            queued_wait=loop.time() - queued_at,
+                            slots_busy=busy_slots[0],
+                            workers=self.workers,
+                        )
+                        obs.observe("session.slots_busy", busy_slots[0])
+                    try:
+                        with job_span:
+                            result = await execute_one(node)
+                    finally:
+                        busy_slots[0] -= 1
             except BaseException as exc:  # noqa: BLE001 - resurfaced below
                 queue.put_nowait((i, None, exc))
                 return
             queue.put_nowait((i, result, None))
             done_flags[node.id].set()
+
+        async def execute_one(node) -> InstanceResult:
+            if executor is None:
+                # inline: block the driving thread for this job, exactly
+                # like the historical serial engine (the job_timeout
+                # liveness guard applies to pool execution only — the
+                # engine's historical contract, since a thread cannot be
+                # interrupted).  The cooperative yield first lets the
+                # previous job's event reach the consumer and gives pending
+                # cancellations (an abandoned stream) a point to land
+                # between jobs.
+                await asyncio.sleep(0)
+                return call(node.job)
+            future = loop.run_in_executor(executor, call, node.job)
+            if self.job_timeout is not None:
+                # the session timeout is detected *here*, at the wait_for
+                # call site: on Python >= 3.11 asyncio.TimeoutError is
+                # TimeoutError, so a TimeoutError raised by the job itself
+                # is indistinguishable by type downstream.  The shield
+                # keeps wait_for from cancelling the future, so a job that
+                # completed (or raised) exactly at the limit is honoured
+                # as-is.
+                try:
+                    return await asyncio.wait_for(
+                        asyncio.shield(future), self.job_timeout
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    if future.done() and not future.cancelled():
+                        # the job finished: surface its own result or
+                        # error untouched
+                        return future.result()
+                    raise TimeoutError(
+                        f"job {node.id!r} exceeded the session "
+                        f"job_timeout of {self.job_timeout:g}s"
+                    ) from None
+            return await future
 
         tasks = [asyncio.create_task(run_node(i)) for i in pending]
         # persistence happens in plan order regardless of completion order
@@ -499,4 +558,5 @@ class Session:
             instance=node.job.instance_name,
             result=result,
             source=source,
+            member=str(dict(node.job.params).get("member", "")),
         )

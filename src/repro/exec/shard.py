@@ -240,6 +240,7 @@ def _run_shard_worker(
     serialized results in sub-plan order, and the shard session's counter
     tuple for the coordinator to aggregate.
     """
+    from repro import obs
     from repro.exec.session import Session
 
     plan = RunPlan(nodes)
@@ -255,7 +256,24 @@ def _run_shard_worker(
         resume=resume,
         job_timeout=job_timeout,
     )
-    results = session.run(shard.plan)
+    # the worker inherits tracing from REPRO_TRACE (spawn) or the forked
+    # tracer state; its spans spill per-pid and merge into one timeline
+    span = obs.NULL_SCOPE
+    if obs.tracing_enabled():
+        span = obs.trace_span(
+            "shard.run",
+            category="session",
+            shard=shard_id,
+            shards=shards,
+            jobs=len(shard.plan),
+        )
+    try:
+        with span:
+            results = session.run(shard.plan)
+    finally:
+        if obs.tracing_enabled():
+            # worker processes exit via os._exit: flush before returning
+            obs.flush_observability()
     stats = session.stats
     return (
         shard.indices,

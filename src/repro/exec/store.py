@@ -65,6 +65,7 @@ class ResultCache:
         return self.cache_dir / (key + ".json")
 
     def load(self, key: str) -> Optional["InstanceResult"]:
+        from repro import obs
         from repro.experiments.runner import InstanceResult
 
         path = self.path(key)
@@ -74,12 +75,16 @@ class ResultCache:
             text = path.read_text()
         except OSError:
             # missing, unreadable, or occupied by a directory: a cache miss
+            obs.count("cache.miss")
             return None
         try:
-            return InstanceResult.from_dict(json.loads(text))
+            result = InstanceResult.from_dict(json.loads(text))
         except (ValueError, KeyError, TypeError):
             # a corrupt cache entry is treated as a miss and overwritten
+            obs.count("cache.miss")
             return None
+        obs.count("cache.hit")
+        return result
 
     def store(self, key: str, result: "InstanceResult") -> None:
         """Write (or repair) the cache entry for ``key``.
@@ -93,9 +98,12 @@ class ResultCache:
         occupied by a directory) warns and leaves the run uncached instead
         of crashing it.
         """
+        from repro import obs
+
         path = self.path(key)
         if path is None:
             return
+        obs.count("cache.store")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -203,8 +211,15 @@ class ResultLog:
 
     def append(self, key: str, job, result: "InstanceResult") -> None:
         """Append one result record (deduplicated by job key)."""
-        if self.results_path is None or key in self._streamed_keys:
+        from repro import obs
+
+        if self.results_path is None:
             return
+        if key in self._streamed_keys:
+            # a "log hit": the file already holds this key's record
+            obs.count("log.dedup_hit")
+            return
+        obs.count("log.append")
         if self._handle is None:
             self.results_path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.results_path, "a")

@@ -131,10 +131,30 @@ def execute_job(job: ExperimentJob) -> InstanceResult:
     per backend.  The delta is computed inside the executing process, so it
     is correct both inline and under the process pool.
     """
+    from repro import obs
     from repro.ilp.backends import solver_call_stats
 
     before = solver_call_stats().snapshot()
-    result = _dispatch_job(job)
+    span = obs.NULL_SCOPE
+    traced = obs.tracing_enabled()
+    if traced:
+        span = obs.trace_span(
+            "job.execute",
+            category="session",
+            kind=job.kind,
+            instance=job.instance_name,
+        )
+    try:
+        with span:
+            result = _dispatch_job(job)
+            if traced:
+                span.set(cost=result.ilp_cost, status=result.solver_status)
+    finally:
+        if traced:
+            # flush at the job boundary: pool/shard workers exit via
+            # os._exit, so atexit never runs there and an unflushed
+            # buffer would simply be lost
+            obs.flush_observability()
     # merge (not overwrite): pipeline jobs pre-populate diagnostics such as
     # the shared-prefix reuse counters, which live next to the solver tally
     result.solver_stats = {

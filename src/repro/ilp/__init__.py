@@ -32,6 +32,7 @@ from repro.ilp.backends import (
     register_backend,
     reset_solver_call_stats,
     resolve_backend_name,
+    scoped_solver_stats,
     solve_model,
     solver_call_stats,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "register_backend",
     "resolve_backend_name",
     "solve_model",
+    "scoped_solver_stats",
     "solver_call_stats",
     "reset_solver_call_stats",
 ]

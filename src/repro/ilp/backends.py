@@ -276,6 +276,8 @@ class SolverCallStats:
 
 _CALL_STATS = SolverCallStats()
 
+_SCOPED_STATS = threading.local()
+
 
 def solver_call_stats() -> SolverCallStats:
     """The process-wide solver call tally (see the module docstring caveat)."""
@@ -285,6 +287,47 @@ def solver_call_stats() -> SolverCallStats:
 def reset_solver_call_stats() -> None:
     """Zero the process-wide solver call tally (for tests and benchmarks)."""
     _CALL_STATS.reset()
+
+
+class scoped_solver_stats:
+    """Tally solver calls dispatched *from this thread* for a region.
+
+    The process-wide :func:`solver_call_stats` cannot attribute calls to
+    one race branch: concurrent branch threads would pollute each other's
+    before/after deltas.  A scope installs a fresh :class:`SolverCallStats`
+    in a thread-local stack; :func:`solve_model` records into every scope
+    active on the dispatching thread (scopes nest), in addition to the
+    process-wide tally.
+
+    Usage::
+
+        with scoped_solver_stats() as stats:
+            ...  # run a race branch
+        branch_calls, branch_time = stats.total, stats.time_total
+    """
+
+    def __init__(self) -> None:
+        self.stats = SolverCallStats()
+
+    def __enter__(self) -> SolverCallStats:
+        stack = getattr(_SCOPED_STATS, "stack", None)
+        if stack is None:
+            stack = []
+            _SCOPED_STATS.stack = stack
+        stack.append(self.stats)
+        return self.stats
+
+    def __exit__(self, *exc) -> bool:
+        stack = getattr(_SCOPED_STATS, "stack", [])
+        if stack and stack[-1] is self.stats:
+            stack.pop()
+        return False
+
+
+def _record_scoped(name: str, elapsed: float) -> None:
+    for stats in getattr(_SCOPED_STATS, "stack", ()):  # innermost last; all get it
+        stats.record(name)
+        stats.record_time(name, elapsed)
 
 
 # ----------------------------------------------------------------------
@@ -298,15 +341,42 @@ def solve_model(
     """Solve ``model`` with the selected (or default) backend.
 
     This is the single dispatch point behind :func:`repro.ilp.solve`; every
-    call is counted in :func:`solver_call_stats`.
+    call is counted in :func:`solver_call_stats` (and any active
+    :class:`scoped_solver_stats` on the dispatching thread), and traced as
+    an ``ilp.solve`` span when :mod:`repro.obs` tracing is on.
     """
+    from repro import obs
+    from repro.ilp.cancellation import current_cancel_token
+
     impl = get_backend(resolve_backend_name(backend))
     _CALL_STATS.record(impl.name)
+    span = obs.NULL_SCOPE
+    if obs.tracing_enabled():
+        span = obs.trace_span(
+            "ilp.solve",
+            category="solver",
+            backend=impl.name,
+            variables=len(model.variables),
+            constraints=len(model.constraints),
+            node_limit=getattr(options, "node_limit", None),
+            time_limit=getattr(options, "time_limit", None),
+        )
     start = time.perf_counter()
     try:
-        return impl.solve(model, options)
+        with span:
+            solution = impl.solve(model, options)
+            span.set(status=solution.status)
+            return solution
     finally:
-        _CALL_STATS.record_time(impl.name, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        _CALL_STATS.record_time(impl.name, elapsed)
+        _record_scoped(impl.name, elapsed)
+        if obs.tracing_enabled():
+            token = current_cancel_token()
+            if token is not None and token.cancelled():
+                span.set(cancelled=True, cancel_reason=token.cancel_reason())
+            obs.observe(f"solver.time[{impl.name}]", elapsed)
+            obs.count(f"solver.calls[{impl.name}]")
 
 
 register_backend(

@@ -51,6 +51,7 @@ class CancelToken:
         self.deadline = deadline
         self.parent = parent
         self._event = threading.Event()
+        self._reason: Optional[str] = None
 
     @classmethod
     def after(
@@ -59,8 +60,15 @@ class CancelToken:
         """A token whose deadline is ``seconds`` from now."""
         return cls(deadline=time.perf_counter() + float(seconds), parent=parent)
 
-    def cancel(self) -> None:
-        """Request cancellation (idempotent, thread-safe)."""
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Request cancellation (idempotent, thread-safe).
+
+        The first non-empty ``reason`` wins and is reported by
+        :meth:`cancel_reason` — race/budget telemetry records *why* a
+        branch stopped, not just that it did.
+        """
+        if reason is not None and self._reason is None and not self._event.is_set():
+            self._reason = reason
         self._event.set()
 
     @property
@@ -78,6 +86,18 @@ class CancelToken:
     def cancelled(self) -> bool:
         """Whether work should stop: cancel requested or deadline expired."""
         return self.cancel_requested or self.deadline_expired()
+
+    def cancel_reason(self) -> Optional[str]:
+        """Why work stopped: the nearest explicit reason in the chain,
+        ``"deadline expired"`` for a binding deadline, else ``None``."""
+        token: Optional[CancelToken] = self
+        while token is not None:
+            if token._event.is_set():
+                return token._reason if token._reason else "cancelled"
+            token = token.parent
+        if self.deadline_expired():
+            return "deadline expired"
+        return None
 
     def remaining(self) -> Optional[float]:
         """Seconds until the tightest deadline in the chain (``None`` = no

@@ -1,0 +1,248 @@
+"""Exporters: Chrome trace-event JSON and flat metrics dumps.
+
+:func:`write_chrome_trace` renders collected spans as Chrome trace-event
+JSON (``{"traceEvents": [...]}`` with ``ph: "X"`` complete events,
+microsecond ``ts``/``dur``), loadable in Perfetto / ``chrome://tracing``.
+Span epoch start times are shifted to the earliest span in the trace, so
+a sharded run's per-process spill files merge into one coherent timeline.
+
+:func:`validate_chrome_trace` is the schema check the CI obs-smoke job
+and the test-suite run against exported files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, collect_metrics
+from repro.obs.tracer import Span, get_tracer, read_spill_spans
+
+
+def collect_spans(spill_dir: Optional[str] = None) -> List[Span]:
+    """Every span recorded so far, across processes.
+
+    With a spill directory the local buffer is flushed first and the
+    merged spill read back; without one the local tracer buffer is
+    drained directly (single-process runs).  Spans come back sorted by
+    ``(start, pid, span_id)`` — one coherent timeline.
+    """
+    tracer = get_tracer()
+    if spill_dir is None:
+        spill_dir = tracer.spill_dir
+    if spill_dir is None:
+        spans = tracer.drain()
+    else:
+        tracer.flush()
+        spans = read_spill_spans(spill_dir)
+    spans.sort(key=lambda s: (s.start, s.pid, s.span_id))
+    return spans
+
+
+def chrome_trace_events(spans: List[Span]) -> List[Dict[str, object]]:
+    """Spans -> Chrome trace-event dicts (complete events + process names)."""
+    if not spans:
+        return []
+    origin = min(span.start for span in spans)
+    events: List[Dict[str, object]] = []
+    for pid in sorted({span.pid for span in spans}):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    for span in spans:
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "repro",
+                "ph": "X",
+                "ts": round((span.start - origin) * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path: str, spans: List[Span]) -> int:
+    """Write ``{"traceEvents": [...]}`` to ``path``; returns span count."""
+    document = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, default=repr)
+        handle.write("\n")
+    return len(spans)
+
+
+def validate_chrome_trace(document: object) -> Tuple[bool, List[str]]:
+    """Schema check for a loaded Chrome trace-event document.
+
+    Accepts the object form (``{"traceEvents": [...]}``) and validates
+    every event: required keys, event-phase vocabulary, non-negative
+    microsecond timestamps, integer pid/tid, dict args.
+    """
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return False, ["top level must be an object with a traceEvents array"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return False, ["traceEvents must be an array"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            errors.append(f"{where}: missing name")
+        phase = event.get("ph")
+        if phase not in ("X", "M", "B", "E", "i", "C"):
+            errors.append(f"{where}: bad phase {phase!r}")
+        if not isinstance(event.get("pid"), int):
+            errors.append(f"{where}: pid must be an int")
+        if not isinstance(event.get("tid"), int):
+            errors.append(f"{where}: tid must be an int")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"{where}: args must be an object")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    errors.append(f"{where}: {key} must be a non-negative number")
+    return not errors, errors
+
+
+def validate_chrome_trace_file(path: str) -> Tuple[bool, List[str]]:
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return False, [f"unreadable trace file: {exc}"]
+    return validate_chrome_trace(document)
+
+
+def format_metrics_table(registry: MetricsRegistry) -> List[str]:
+    """The flat text dump: counters, then histogram percentile rows."""
+    summary = registry.summary()
+    lines: List[str] = []
+    counters = summary["counters"]
+    histograms = summary["histograms"]
+    if counters:
+        width = max(len(name) for name in counters)
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}s}  {value:g}")
+    if histograms:
+        width = max(len(name) for name in histograms)
+        lines.append("histograms:")
+        for name, stats in histograms.items():
+            lines.append(
+                f"  {name:<{width}s}  count={stats['count']:g} sum={stats['sum']:.6g}"
+                f" min={stats['min']:.6g} p50={stats['p50']:.6g}"
+                f" p90={stats['p90']:.6g} p99={stats['p99']:.6g}"
+                f" max={stats['max']:.6g}"
+            )
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return lines
+
+
+def export_trace(
+    path: str, spill_dir: Optional[str] = None, fmt: str = "chrome-trace"
+) -> int:
+    """Export collected observability data to ``path``.
+
+    ``fmt``: ``chrome-trace`` (trace-event JSON), ``metrics`` (flat text)
+    or ``metrics-json`` (the summary dict).  Returns the span count for
+    traces, otherwise the number of metric names exported.
+    """
+    if fmt == "chrome-trace":
+        return write_chrome_trace(path, collect_spans(spill_dir))
+    registry = collect_metrics(spill_dir)
+    summary = registry.summary()
+    if fmt == "metrics-json":
+        with open(path, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    elif fmt == "metrics":
+        with open(path, "w") as handle:
+            handle.write("\n".join(format_metrics_table(registry)) + "\n")
+    else:
+        raise ValueError(f"unknown export format: {fmt!r}")
+    return len(summary["counters"]) + len(summary["histograms"])
+
+
+class chrome_trace_file:
+    """Enable tracing for a region and export a merged Chrome trace.
+
+    The CLI ``--trace out.json`` wrapper: traces the body with a
+    temporary spill directory (so pool/shard worker processes join via
+    ``REPRO_TRACE``), then writes the merged trace-event file.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.span_count = 0
+        self._tmpdir = None
+        self._scope = None
+
+    def __enter__(self) -> "chrome_trace_file":
+        import tempfile
+
+        from repro.obs.tracer import trace_scope
+
+        self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-obs-")
+        self._scope = trace_scope(spill_dir=self._tmpdir.name)
+        self._scope.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        spill = self._tmpdir.name if self._tmpdir is not None else None
+        try:
+            if exc_type is None and spill is not None:
+                get_tracer().flush()
+                spans = read_spill_spans(spill)
+                spans.sort(key=lambda s: (s.start, s.pid, s.span_id))
+                self.span_count = write_chrome_trace(self.path, spans)
+        finally:
+            if self._scope is not None:
+                self._scope.__exit__(None, None, None)
+            if self._tmpdir is not None:
+                self._tmpdir.cleanup()
+        return False
+
+
+def span_tree_errors(spans: List[Span]) -> List[str]:
+    """Structural check used by tests: every ``parent_id`` must name a
+    span in the same process whose interval contains the child's."""
+    by_key: Dict[Tuple[int, int], Span] = {(s.pid, s.span_id): s for s in spans}
+    errors: List[str] = []
+    slack = 0.005  # clock-read ordering slack between time.time()/perf_counter
+    for span in spans:
+        if span.parent_id is None:
+            continue
+        parent = by_key.get((span.pid, span.parent_id))
+        if parent is None:
+            errors.append(f"{span.name}: dangling parent_id {span.parent_id}")
+            continue
+        if span.start < parent.start - slack or (
+            span.start + span.duration > parent.start + parent.duration + slack
+        ):
+            errors.append(
+                f"{span.name} [{span.start:.6f},+{span.duration:.6f}] outside "
+                f"parent {parent.name} [{parent.start:.6f},+{parent.duration:.6f}]"
+            )
+    return errors

@@ -70,6 +70,7 @@ from repro.pipeline.pipeline import (
     PipelineResult,
     StageReuseCache,
     StageReuseStats,
+    describe_stage_table,
     run_pipeline,
     stage_reuse_scope,
 )
@@ -111,6 +112,7 @@ __all__ = [
     "PipelineResult",
     "StageReuseCache",
     "StageReuseStats",
+    "describe_stage_table",
     "run_pipeline",
     "stage_reuse_scope",
 ]

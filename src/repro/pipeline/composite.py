@@ -39,7 +39,9 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.exceptions import ConfigurationError
+from repro.ilp.backends import scoped_solver_stats
 from repro.ilp.cancellation import CancelToken, cancel_scope, current_cancel_token
 from repro.model.instance import MbspInstance
 from repro.pipeline.registry import StageFactory, register_stage
@@ -112,8 +114,12 @@ class BudgetedStage:
     ) -> StageResult:
         token = CancelToken.after(self.seconds, parent=current_cancel_token())
         start = time.perf_counter()
-        with cancel_scope(token):
-            result = self.inner.run(instance, incumbent, ctx)
+        with obs.trace_span(
+            "budget", category="pipeline", spec=self.spec_token(), budget=self.seconds
+        ) as span:
+            with cancel_scope(token):
+                result = self.inner.run(instance, incumbent, ctx)
+            span.set(expired=token.deadline_expired())
         result.stage = self.spec_token()  # telemetry shows the budgeted token
         # deterministic budget accounting: the limit itself is part of the
         # spec token (and job hash); elapsed/expired are wall-clock
@@ -139,8 +145,11 @@ class _BranchOutcome:
     extras: Dict[str, float] = field(default_factory=dict)
     inapplicable: str = ""
     cancelled: bool = False
+    cancel_reason: str = ""
     skipped: bool = False  # never started: the winner was already decided
     wall_time: float = 0.0
+    solver_calls: int = 0
+    solver_time: float = 0.0
     error: Optional[BaseException] = None
 
 
@@ -234,12 +243,12 @@ class RaceStage:
                 if complete and prefix_decides(outcomes[:complete]):
                     for j in range(complete, count):
                         if outcomes[j] is None:
-                            tokens[j].cancel()
+                            tokens[j].cancel(reason="race winner decided")
 
         def fail_fast() -> None:
             """A genuine error in one branch stops all the others."""
             for token in tokens:
-                token.cancel()
+                token.cancel(reason="sibling branch failed")
 
         slots = min(count, branch_slots())
         if slots > 1:
@@ -260,7 +269,10 @@ class RaceStage:
                 if decided_before(i):
                     # sequential cancellation: the loser is not even started
                     outcomes[i] = _BranchOutcome(
-                        token=self._tokens[i], cancelled=True, skipped=True
+                        token=self._tokens[i],
+                        cancelled=True,
+                        cancel_reason="race winner decided",
+                        skipped=True,
                     )
                     continue
                 self._run_branch(
@@ -287,43 +299,58 @@ class RaceStage:
         fail_fast,
     ) -> None:
         outcome = _BranchOutcome(token=self._tokens[idx])
+        stats_scope = scoped_solver_stats()
         start = time.perf_counter()
-        try:
-            with cancel_scope(token):
-                current: Optional[Incumbent] = incumbent
-                for stage in self._branches[idx]:
-                    if stage.requires_incumbent and current is None:
-                        raise ConfigurationError(
-                            f"race branch {self._tokens[idx]!r} needs an "
-                            f"incumbent schedule; start the pipeline with a "
-                            f"schedule-producing stage (e.g. 'baseline')"
-                        )
-                    try:
-                        result = stage.run(instance, current, ctx)
-                    except ConfigurationError as exc:
-                        if getattr(stage, "config_error_means_inapplicable", False):
-                            outcome.inapplicable = str(exc)
-                            break
-                        raise
-                    outcome.solve_time += result.solve_time
-                    for key, value in result.extras.items():
-                        outcome.extras[key] = value
-                    outcome.status = result.status
-                    if result.schedule is not None:
-                        current = Incumbent(
-                            schedule=result.schedule,
-                            cost=result.cost,
-                            source=stage.spec_token(),
-                        )
-                if not outcome.inapplicable and current is not incumbent and \
-                        current is not None:
-                    outcome.schedule = current.schedule
-                    outcome.cost = current.cost
-        except BaseException as exc:  # noqa: BLE001 - re-raised by run()
-            outcome.error = exc
-            fail_fast()
-        outcome.cancelled = token.cancel_requested
-        outcome.wall_time = time.perf_counter() - start
+        with obs.trace_span(
+            "race.branch", category="pipeline", branch=self._tokens[idx], index=idx
+        ) as span:
+            try:
+                with stats_scope, cancel_scope(token):
+                    current: Optional[Incumbent] = incumbent
+                    for stage in self._branches[idx]:
+                        if stage.requires_incumbent and current is None:
+                            raise ConfigurationError(
+                                f"race branch {self._tokens[idx]!r} needs an "
+                                f"incumbent schedule; start the pipeline with a "
+                                f"schedule-producing stage (e.g. 'baseline')"
+                            )
+                        try:
+                            result = stage.run(instance, current, ctx)
+                        except ConfigurationError as exc:
+                            if getattr(stage, "config_error_means_inapplicable", False):
+                                outcome.inapplicable = str(exc)
+                                break
+                            raise
+                        outcome.solve_time += result.solve_time
+                        for key, value in result.extras.items():
+                            outcome.extras[key] = value
+                        outcome.status = result.status
+                        if result.schedule is not None:
+                            current = Incumbent(
+                                schedule=result.schedule,
+                                cost=result.cost,
+                                source=stage.spec_token(),
+                            )
+                    if not outcome.inapplicable and current is not incumbent and \
+                            current is not None:
+                        outcome.schedule = current.schedule
+                        outcome.cost = current.cost
+            except BaseException as exc:  # noqa: BLE001 - re-raised by run()
+                outcome.error = exc
+                fail_fast()
+            outcome.cancelled = token.cancel_requested
+            if outcome.cancelled:
+                outcome.cancel_reason = token.cancel_reason() or "cancelled"
+            outcome.wall_time = time.perf_counter() - start
+            outcome.solver_calls = stats_scope.stats.total
+            outcome.solver_time = stats_scope.stats.time_total
+            if obs.tracing_enabled():
+                span.set(
+                    cost=outcome.cost,
+                    cancelled=outcome.cancelled,
+                    cancel_reason=outcome.cancel_reason,
+                    solver_calls=outcome.solver_calls,
+                )
         outcomes[idx] = outcome
         note_done()
 
@@ -341,7 +368,11 @@ class RaceStage:
                 o.token: {
                     "cost": o.cost,
                     "wall_time": o.wall_time,
+                    "solver_calls": o.solver_calls,
+                    "solver_time": o.solver_time,
                     "cancelled": o.cancelled,
+                    "cancel_reason": o.cancel_reason,
+                    "winner": winner is not None and o is winner,
                     "started": not o.skipped,
                     "inapplicable": o.inapplicable,
                 }

@@ -33,8 +33,9 @@ import math
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.dag.graph import ComputationalDag
 from repro.exceptions import ConfigurationError
 from repro.model.instance import MbspInstance
@@ -215,22 +216,69 @@ class PipelineResult:
         if self.inapplicable:
             lines.append(f"  inapplicable: {self.inapplicable}")
             return "\n".join(lines)
-        cost_in: Optional[float] = None
-        for stage in self.stages:
-            wall = stage.telemetry.get("wall_time", 0.0)
-            calls = stage.telemetry.get("solver_calls", 0.0)
-            note = "skipped (bound pruning)" if stage.skipped else stage.status
-            arrow = (
-                f"{cost_in:g} -> {stage.cost:g}" if cost_in is not None
-                else f"{stage.cost:g}"
-            )
-            lines.append(
-                f"  {stage.stage:<24s} cost {arrow:<20s} "
-                f"[{wall:6.2f}s, {calls:g} solve(s)] {note}"
-            )
-            cost_in = stage.cost
+        lines.extend(describe_stage_table(self.stages))
         lines.append(f"  final cost: {self.cost:g}")
         return "\n".join(lines)
+
+
+def describe_stage_table(stages: Sequence[StageResult]) -> List[str]:
+    """Per-stage telemetry rows (the ``repro pipeline run`` table).
+
+    Every row shows the stage's *canonical* spec token (composite
+    ``race(...)``/``budget=`` tokens included, sized to the longest token
+    rather than a fixed column).  Stages that were skipped/pruned show
+    ``-`` for wall time and solver calls — a skip is not a
+    zero-wall-clock, zero-solve run — and race stages get indented
+    per-branch sub-rows (wall time, solver calls, winner / cancel
+    reason).
+    """
+    width = max([24] + [len(stage.stage) for stage in stages])
+    lines: List[str] = []
+    cost_in: Optional[float] = None
+    for stage in stages:
+        if stage.skipped:
+            wall_text = f"{'-':>6s} "
+            calls_text = "-"
+            note = "skipped (bound pruning)"
+        else:
+            wall_text = f"{stage.telemetry.get('wall_time', 0.0):6.2f}s"
+            calls_text = f"{stage.telemetry.get('solver_calls', 0.0):g}"
+            note = stage.status
+        arrow = (
+            f"{cost_in:g} -> {stage.cost:g}" if cost_in is not None
+            else f"{stage.cost:g}"
+        )
+        lines.append(
+            f"  {stage.stage:<{width}s} cost {arrow:<20s} "
+            f"[{wall_text}, {calls_text} solve(s)] {note}"
+        )
+        branches = stage.telemetry.get("race_branches") or {}
+        if isinstance(branches, dict):
+            for token in sorted(branches):
+                branch = branches[token]
+                if not isinstance(branch, dict):
+                    continue
+                if branch.get("winner"):
+                    flag = "winner"
+                elif not branch.get("started", True):
+                    flag = "not started: " + (
+                        branch.get("cancel_reason") or "race winner decided"
+                    )
+                elif branch.get("inapplicable"):
+                    flag = "inapplicable"
+                elif branch.get("cancelled"):
+                    flag = "cancelled: " + (branch.get("cancel_reason") or "cancelled")
+                else:
+                    flag = "lost"
+                cost = branch.get("cost", math.inf)
+                cost_text = f"{cost:g}" if math.isfinite(cost) else "-"
+                lines.append(
+                    f"    - {token:<{max(2, width - 4)}s} cost {cost_text:<8s} "
+                    f"[{branch.get('wall_time', 0.0):6.2f}s, "
+                    f"{branch.get('solver_calls', 0):g} solve(s)] {flag}"
+                )
+        cost_in = stage.cost
+    return lines
 
 
 # ----------------------------------------------------------------------
@@ -316,45 +364,130 @@ class Pipeline:
                     cache.stats.solver_calls_saved += entry.solver_calls
                     break
 
-        skip_reported = any(stage.skipped and stage.status for stage in result.stages)
-        for i in range(start_index, len(self.stages)):
-            stage = self.stages[i]
-            token = self._tokens[i]
-            if stage.requires_incumbent and incumbent is None:
-                raise ConfigurationError(
-                    f"stage {token!r} needs an incumbent schedule; start the "
-                    f"pipeline with a schedule-producing stage (e.g. 'baseline')"
-                )
-            if (
-                ctx.prune_enabled
-                and stage.prunable
-                and incumbent is not None
-                and incumbent.cost
-                <= (1.0 + ctx.prune_gap) * ctx.lower_bound() + 1e-9
-            ):
-                bound = ctx.lower_bound()
-                noun, phrase = stage.prune_label
-                status = ""
-                extras: Dict[str, float] = {}
-                if not skip_reported:
-                    status = (
-                        f"{PRUNED_STATUS_PREFIX} {noun} {incumbent.cost:g} is "
-                        f"within {ctx.prune_gap:.1%} of the lower bound "
-                        f"{bound:g}; {phrase}"
+        pipeline_span = obs.NULL_SCOPE
+        if obs.tracing_enabled():
+            pipeline_span = obs.trace_span(
+                "pipeline",
+                category="pipeline",
+                spec=self.canonical,
+                instance=dag.name,
+                stages_reused=result.stages_reused,
+            )
+        with pipeline_span:
+            skip_reported = any(
+                stage.skipped and stage.status for stage in result.stages
+            )
+            for i in range(start_index, len(self.stages)):
+                stage = self.stages[i]
+                token = self._tokens[i]
+                if stage.requires_incumbent and incumbent is None:
+                    raise ConfigurationError(
+                        f"stage {token!r} needs an incumbent schedule; start the "
+                        f"pipeline with a schedule-producing stage (e.g. 'baseline')"
                     )
-                    extras = {"lower_bound": bound, "pruned": 1.0}
-                    skip_reported = True
-                result.stages.append(
-                    StageResult(
-                        stage=token,
-                        schedule=incumbent.schedule,
-                        cost=incumbent.cost,
-                        status=status,
-                        sticky_status=bool(status),
-                        extras=extras,
-                        skipped=True,
+                if (
+                    ctx.prune_enabled
+                    and stage.prunable
+                    and incumbent is not None
+                    and incumbent.cost
+                    <= (1.0 + ctx.prune_gap) * ctx.lower_bound() + 1e-9
+                ):
+                    bound = ctx.lower_bound()
+                    noun, phrase = stage.prune_label
+                    status = ""
+                    extras: Dict[str, float] = {}
+                    if not skip_reported:
+                        status = (
+                            f"{PRUNED_STATUS_PREFIX} {noun} {incumbent.cost:g} is "
+                            f"within {ctx.prune_gap:.1%} of the lower bound "
+                            f"{bound:g}; {phrase}"
+                        )
+                        extras = {"lower_bound": bound, "pruned": 1.0}
+                        skip_reported = True
+                    if obs.tracing_enabled():
+                        with obs.trace_span(
+                            "stage",
+                            category="pipeline",
+                            spec=token,
+                            skipped=True,
+                            reason="bound pruning",
+                            lower_bound=bound,
+                        ):
+                            pass
+                        obs.count("pipeline.stages_pruned")
+                    result.stages.append(
+                        StageResult(
+                            stage=token,
+                            schedule=incumbent.schedule,
+                            cost=incumbent.cost,
+                            status=status,
+                            sticky_status=bool(status),
+                            extras=extras,
+                            skipped=True,
+                        )
                     )
-                )
+                    if cache is not None:
+                        cache.put(
+                            prefix_keys[i],
+                            _PrefixEntry(
+                                tuple(result.stages), incumbent, solver_calls_so_far
+                            ),
+                        )
+                    continue
+                wall_start = time.perf_counter()
+                calls_before = solver_call_stats().snapshot()
+                with obs.trace_span(
+                    "stage", category="pipeline", spec=token
+                ) as stage_span:
+                    try:
+                        stage_result = stage.run(instance, incumbent, ctx)
+                    except ConfigurationError as exc:
+                        if not getattr(
+                            stage, "config_error_means_inapplicable", False
+                        ):
+                            # a genuine misconfiguration (bad solver budgets,
+                            # invalid step caps, ...) must fail the caller, not
+                            # be swallowed as an infinitely expensive member
+                            raise
+                        # e.g. the DFS first stage on a multi-processor
+                        # instance: the pipeline simply does not compete here
+                        stage_span.set(inapplicable=str(exc))
+                        result.inapplicable = str(exc)
+                        result.schedule = None
+                        result.cost = math.inf
+                        return result
+                    delta = solver_call_stats().delta_since(calls_before)
+                    stage_result.telemetry.setdefault(
+                        "wall_time", time.perf_counter() - wall_start
+                    )
+                    stage_result.telemetry["solver_calls"] = delta.get(
+                        "solver_calls", 0.0
+                    )
+                    stage_result.telemetry["solver_time"] = delta.get(
+                        "solver_time", 0.0
+                    )
+                    stage_result.telemetry["cost_in"] = (
+                        incumbent.cost if incumbent is not None else None
+                    )
+                    stage_result.telemetry["cost_out"] = stage_result.cost
+                    if obs.tracing_enabled():
+                        stage_span.set(
+                            cost_in=stage_result.telemetry["cost_in"],
+                            cost_out=stage_result.cost,
+                            solver_calls=delta.get("solver_calls", 0.0),
+                        )
+                        obs.observe(
+                            "pipeline.stage_time",
+                            stage_result.telemetry["wall_time"],
+                        )
+                solver_calls_so_far += delta.get("solver_calls", 0.0)
+                result.stages.append(stage_result)
+                if stage_result.schedule is not None:
+                    incumbent = Incumbent(
+                        schedule=stage_result.schedule,
+                        cost=stage_result.cost,
+                        source=token,
+                    )
                 if cache is not None:
                     cache.put(
                         prefix_keys[i],
@@ -362,50 +495,10 @@ class Pipeline:
                             tuple(result.stages), incumbent, solver_calls_so_far
                         ),
                     )
-                continue
-            wall_start = time.perf_counter()
-            calls_before = solver_call_stats().snapshot()
-            try:
-                stage_result = stage.run(instance, incumbent, ctx)
-            except ConfigurationError as exc:
-                if not getattr(stage, "config_error_means_inapplicable", False):
-                    # a genuine misconfiguration (bad solver budgets, invalid
-                    # step caps, ...) must fail the caller, not be swallowed
-                    # as an infinitely expensive member
-                    raise
-                # e.g. the DFS first stage on a multi-processor instance: the
-                # pipeline simply does not compete on this instance
-                result.inapplicable = str(exc)
-                result.schedule = None
-                result.cost = math.inf
-                return result
-            delta = solver_call_stats().delta_since(calls_before)
-            stage_result.telemetry.setdefault(
-                "wall_time", time.perf_counter() - wall_start
-            )
-            stage_result.telemetry["solver_calls"] = delta.get("solver_calls", 0.0)
-            stage_result.telemetry["solver_time"] = delta.get("solver_time", 0.0)
-            stage_result.telemetry["cost_in"] = (
-                incumbent.cost if incumbent is not None else None
-            )
-            stage_result.telemetry["cost_out"] = stage_result.cost
-            solver_calls_so_far += delta.get("solver_calls", 0.0)
-            result.stages.append(stage_result)
-            if stage_result.schedule is not None:
-                incumbent = Incumbent(
-                    schedule=stage_result.schedule,
-                    cost=stage_result.cost,
-                    source=token,
-                )
-            if cache is not None:
-                cache.put(
-                    prefix_keys[i],
-                    _PrefixEntry(tuple(result.stages), incumbent, solver_calls_so_far),
-                )
 
-        result.schedule = incumbent.schedule if incumbent is not None else None
-        result.cost = result.stages[-1].cost if result.stages else math.inf
-        return result
+            result.schedule = incumbent.schedule if incumbent is not None else None
+            result.cost = result.stages[-1].cost if result.stages else math.inf
+            return result
 
 
 def _dag_key_data(dag: ComputationalDag) -> dict:

@@ -168,6 +168,36 @@ class Refiner:
         Raises :class:`~repro.exceptions.InvalidScheduleError` when the
         input schedule is not valid.
         """
+        from repro import obs
+
+        if not obs.tracing_enabled():
+            return self._refine_impl(schedule, instance, budget, synchronous)
+        config = self.config
+        with obs.trace_span(
+            "refine",
+            category="refine",
+            strategy=config.strategy,
+            seed=config.seed,
+            budget=config.budget if budget is None else int(budget),
+        ) as span:
+            result = self._refine_impl(schedule, instance, budget, synchronous)
+            span.set(
+                proposals=result.proposals,
+                accepted=result.accepted,
+                invalid=result.invalid,
+                rounds=result.rounds,
+                cost_in=result.initial_cost,
+                cost_out=result.final_cost,
+            )
+            return result
+
+    def _refine_impl(
+        self,
+        schedule: MbspSchedule,
+        instance=None,
+        budget: Optional[int] = None,
+        synchronous: bool = True,
+    ) -> RefineResult:
         config = self.config
         start = time.perf_counter()
         if instance is None or instance is schedule.instance:

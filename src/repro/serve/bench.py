@@ -35,6 +35,7 @@ def run_serve_bench(
     scale: str = "default",
     limit: Optional[int] = 6,
     config: Optional[ServiceConfig] = None,
+    progress=None,
 ) -> Dict[str, object]:
     """Run one serve bench and return its deterministic JSON summary.
 
@@ -42,6 +43,9 @@ def run_serve_bench(
     entirely (the scalar knobs are then ignored).  ``workers``,
     ``cache_dir`` and ``results_path`` configure the execution session
     only — by design they cannot change a single byte of the summary.
+    ``progress`` (a :class:`repro.obs.ProgressRenderer`) attaches to the
+    session for live execute-phase progress; like tracing, it never
+    touches the summary.
     """
     if config is None:
         config = ServiceConfig(
@@ -59,6 +63,8 @@ def run_serve_bench(
     session = Session(
         workers=workers, cache_dir=cache_dir, results_path=results_path
     )
+    if progress is not None:
+        progress.attach(session)
     service = ScheduleService(config, session=session)
     report = service.run()
     arrivals = config.arrivals

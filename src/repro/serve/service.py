@@ -228,17 +228,40 @@ class ScheduleService:
 
     # ------------------------------------------------------------------
     def run(self) -> ServiceReport:
-        """Simulate the trace, execute the distinct jobs, join the costs."""
-        pool = request_pool(self.config.arrivals)
-        requests = generate_requests(self.config.arrivals, len(pool))
-        records, jobs = self._simulate(pool, requests)
-        results = self._execute(jobs)
-        for record in records:
-            result = results[record.key]
-            record.cost = result.extra_costs.get("member_cost", result.ilp_cost)
-        return ServiceReport(
-            config=self.config, records=records, results=results, jobs=jobs
-        )
+        """Simulate the trace, execute the distinct jobs, join the costs.
+
+        The serve-phase boundaries are traced (``serve.simulate`` /
+        ``serve.execute`` / ``serve.join`` spans) when :mod:`repro.obs`
+        tracing is on; spans never enter the virtual timeline or the SLO
+        summary, which stay pure functions of the seed.
+        """
+        from repro import obs
+
+        with obs.trace_span(
+            "serve.run",
+            category="serve",
+            requests=self.config.arrivals.requests,
+            servers=self.config.servers,
+        ) as run_span:
+            pool = request_pool(self.config.arrivals)
+            requests = generate_requests(self.config.arrivals, len(pool))
+            with obs.trace_span("serve.simulate", category="serve") as span:
+                records, jobs = self._simulate(pool, requests)
+                span.set(records=len(records), distinct_jobs=len(jobs))
+            with obs.trace_span(
+                "serve.execute", category="serve", distinct_jobs=len(jobs)
+            ):
+                results = self._execute(jobs)
+            with obs.trace_span("serve.join", category="serve"):
+                for record in records:
+                    result = results[record.key]
+                    record.cost = result.extra_costs.get(
+                        "member_cost", result.ilp_cost
+                    )
+            run_span.set(distinct_jobs=len(jobs))
+            return ServiceReport(
+                config=self.config, records=records, results=results, jobs=jobs
+            )
 
     # ------------------------------------------------------------------
     def _simulate(self, pool, requests):

@@ -1,0 +1,23 @@
+"""Fixtures for the observability tests: leave no tracer state behind.
+
+The tracer and metrics registry are process-wide singletons; every test
+in this package runs with a clean slate and restores the disabled state
+afterwards so the rest of the suite stays untraced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    obs.configure_tracing(False, spill_dir=None)
+    obs.get_tracer().reset()
+    obs.metrics().reset()
+    yield
+    obs.configure_tracing(False, spill_dir=None)
+    obs.get_tracer().reset()
+    obs.metrics().reset()

@@ -1,0 +1,115 @@
+"""Unit tests for counters/histograms and their cross-process merge."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro import obs
+from repro.obs.metrics import (
+    HISTOGRAM_VALUE_CAP,
+    Histogram,
+    MetricsRegistry,
+    merge_spill_metrics,
+    nearest_rank_percentile,
+)
+
+
+class TestNearestRank:
+    def test_matches_the_serve_bench_convention(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert nearest_rank_percentile(values, 50) == 2.0
+        assert nearest_rank_percentile(values, 99) == 4.0
+        assert nearest_rank_percentile(values, 100) == 4.0
+        assert nearest_rank_percentile([], 50) == 0.0
+        assert nearest_rank_percentile([7.0], 50) == 7.0
+
+    def test_histogram_summary_is_deterministic(self):
+        hist = Histogram()
+        for value in (5.0, 1.0, 3.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3.0
+        assert summary["sum"] == 9.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 5.0
+        assert summary["p50"] == 3.0
+
+    def test_histogram_value_cap_keeps_count_and_sum_accurate(self):
+        hist = Histogram()
+        for i in range(HISTOGRAM_VALUE_CAP + 10):
+            hist.observe(1.0)
+        assert hist.count == HISTOGRAM_VALUE_CAP + 10
+        assert len(hist.values) == HISTOGRAM_VALUE_CAP
+        assert hist.dropped == 10
+
+
+class TestRegistry:
+    def test_module_helpers_are_noops_while_disabled(self):
+        obs.count("cache.hit")
+        obs.observe("stage_time", 0.5)
+        summary = obs.metrics().summary()
+        assert summary == {"counters": {}, "histograms": {}}
+
+    def test_module_helpers_record_while_enabled(self):
+        obs.configure_tracing(True)
+        obs.count("cache.hit")
+        obs.count("cache.hit", 2.0)
+        obs.observe("stage_time", 0.25)
+        assert obs.metrics().counter("cache.hit") == 3.0
+        assert obs.metrics().histogram("stage_time").count == 1
+
+    def test_merge_snapshot_sums_counters_and_concats_histograms(self):
+        a = MetricsRegistry()
+        a.inc("jobs", 2)
+        a.observe("t", 1.0)
+        b = MetricsRegistry()
+        b.inc("jobs", 3)
+        b.observe("t", 5.0)
+        b.merge_snapshot(a.snapshot())
+        assert b.counter("jobs") == 5.0
+        assert sorted(b.histogram("t").values) == [1.0, 5.0]
+
+
+class TestSpill:
+    def test_flush_writes_only_the_delta_since_last_flush(self, tmp_path):
+        spill = str(tmp_path)
+        registry = MetricsRegistry()
+        registry.inc("n", 2)
+        assert registry.flush(spill)
+        registry.inc("n", 5)
+        registry.observe("h", 1.5)
+        assert registry.flush(spill)
+        # nothing new: no third line
+        assert not registry.flush(spill)
+        path = tmp_path / f"metrics-{os.getpid()}.jsonl"
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["counters"] == {"n": 2}
+        assert lines[1]["counters"] == {"n": 5}
+        assert lines[1]["histograms"] == {"h": [1.5]}
+
+    def test_merge_spill_metrics_recovers_the_full_tally(self, tmp_path):
+        spill = str(tmp_path)
+        registry = MetricsRegistry()
+        registry.inc("n", 2)
+        registry.flush(spill)
+        registry.inc("n", 5)
+        registry.observe("h", 1.5)
+        registry.flush(spill)
+        # fake a second process's spill file
+        other = {"pid": 999, "counters": {"n": 10}, "histograms": {"h": [2.5]}}
+        with open(tmp_path / "metrics-999.jsonl", "w") as handle:
+            handle.write(json.dumps(other) + "\n")
+        merged = merge_spill_metrics(spill)
+        assert merged.counter("n") == 17.0
+        assert sorted(merged.histogram("h").values) == [1.5, 2.5]
+
+    def test_collect_metrics_without_spill_reads_the_local_registry(self):
+        obs.configure_tracing(True)
+        obs.count("x")
+        merged = obs.collect_metrics()
+        assert merged.counter("x") == 1.0
+        # a fresh registry: mutating it does not touch the live one
+        merged.inc("x", 100)
+        assert obs.metrics().counter("x") == 1.0
