@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.dag.graph import ComputationalDag, NodeId
-from repro.exceptions import SolverError
+from repro.exceptions import ScheduleError, SolverError
 from repro.ilp import IlpModel, SolverOptions, lin_sum, solve
 from repro.bsp.greedy import greedy_bsp_schedule
 from repro.bsp.schedule import BspSchedule
@@ -186,7 +186,7 @@ class IlpBspScheduler:
             schedule.assign(v, p, s)
         try:
             schedule.validate()
-        except Exception:
+        except ScheduleError:
             return None
         return schedule.compact_supersteps()
 

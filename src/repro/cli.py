@@ -879,6 +879,150 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_findings(findings, args, *, baselined: int = 0) -> int:
+    """Shared reporter of ``lint`` and ``check``: render to --output or
+    stdout in the requested format, return the stable exit code."""
+    import contextlib
+
+    from repro.lint import exit_code, render_json, render_text
+
+    with contextlib.ExitStack() as stack:
+        if args.output:
+            out = stack.enter_context(open(args.output, "w"))
+        else:
+            out = sys.stdout
+        if args.format == "json":
+            render_json(findings, out, baselined=baselined)
+        else:
+            render_text(findings, out)
+            if baselined:
+                out.write(f"({baselined} baselined finding(s) not shown)\n")
+    if args.output:
+        print(f"wrote {args.format} report to {args.output}")
+    return exit_code(findings)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint [PATHS]``: the AST determinism/concurrency analyzer."""
+    import os
+
+    from repro import lint
+    from repro.exceptions import ConfigurationError
+
+    if args.list_rules:
+        print(f"{'rule':<10s} {'severity':<9s} description")
+        for rule_id, severity, description in lint.rule_descriptions():
+            print(f"{rule_id:<10s} {severity:<9s} {description}")
+        return lint.EXIT_OK
+
+    rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()] \
+        if args.rules else None
+    try:
+        findings = lint.lint_paths(args.paths or ["src"], rule_ids)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return lint.EXIT_USAGE
+
+    if args.write_baseline:
+        baseline_path = args.baseline or lint.DEFAULT_BASELINE
+        lint.write_baseline(baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to baseline {baseline_path}")
+        return lint.EXIT_OK
+
+    baselined = 0
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline \
+            and os.path.exists(lint.DEFAULT_BASELINE):
+        baseline_path = lint.DEFAULT_BASELINE
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            keys = lint.load_baseline(baseline_path)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return lint.EXIT_USAGE
+        before = len(findings)
+        findings = lint.filter_baselined(findings, keys)
+        baselined = before - len(findings)
+    return _report_findings(findings, args, baselined=baselined)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: validate specs/plans/policies without executing.
+
+    With no explicit specs, checks the default portfolio members, the
+    documented example race specs and the shipped serve policy tiers —
+    the exact set the CI smoke gate runs.
+    """
+    import warnings as _warnings
+
+    from repro import lint
+    from repro.exceptions import ConfigurationError
+    from repro.pipeline.composite import EXAMPLE_RACE_SPECS
+    from repro.portfolio import DEFAULT_MEMBERS, resolve_member
+
+    specs = [m.strip() for m in args.members.split(",") if m.strip()] \
+        if args.members else []
+    specs += [s.strip() for s in (args.pipeline or []) if s.strip()]
+    check_policy = args.policy or any(
+        (args.policy_cheap, args.policy_steady, args.policy_rich)
+    )
+    if not specs and not check_policy:
+        # the default smoke set: portfolio members + documented races +
+        # the shipped policy tiers
+        specs = list(DEFAULT_MEMBERS) + list(EXAMPLE_RACE_SPECS.values())
+        check_policy = True
+
+    findings = []
+    for spec in specs:
+        findings += lint.check_spec(
+            spec, processors=args.processors, max_sweep=args.max_sweep
+        )
+    if check_policy:
+        findings += lint.check_policy(
+            cheap=args.policy_cheap,
+            steady=args.policy_steady,
+            rich=args.policy_rich,
+            processors=args.processors,
+        )
+
+    if args.shards is not None:
+        # dry-run the deterministic shard assignment over the real plan
+        # the specs × dataset fan-out would execute
+        from repro.exec import plan_pipelines
+        from repro.experiments.datasets import small_dataset, tiny_dataset
+        from repro.experiments.runner import ExperimentConfig
+
+        resolvable = []
+        for spec in specs:
+            try:
+                resolve_member(spec)
+                resolvable.append(spec)
+            except ConfigurationError:
+                pass  # already reported as a REP-S01/REP-S06 finding
+        if resolvable:
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("ignore")
+                config = ExperimentConfig(
+                    name="check", num_processors=args.processors
+                )
+                dags = (
+                    tiny_dataset(scale=args.scale, limit=args.limit)
+                    if args.which == "tiny"
+                    else small_dataset(scale=args.scale, limit=args.limit)
+                )
+                plan = plan_pipelines(resolvable, dags, config)
+            findings += lint.check_shards(
+                plan,
+                args.shards,
+                source=f"plan:{len(plan)} nodes",
+            )
+
+    checked = len(specs) + (3 if check_policy else 0)
+    if not findings:
+        print(f"checked {checked} spec(s): all statically valid")
+    return _report_findings(findings, args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -1172,6 +1316,80 @@ def build_parser() -> argparse.ArgumentParser:
                             help="output file (--format metrics prints to "
                                  "stdout when omitted)")
     obs_export.set_defaults(func=_cmd_obs_export)
+
+    def add_report_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--format", choices=["text", "json"], default="text",
+                       help="report format (json is byte-stable: sorted "
+                            "keys, stable finding order)")
+        p.add_argument("--output", default=None, metavar="FILE",
+                       help="write the report to FILE instead of stdout")
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="static determinism/concurrency analysis over Python sources "
+             "(AST rules; exit 0 = clean, 1 = findings, 2 = usage error)",
+    )
+    lint_parser.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                             help="files or directories to lint "
+                                  "(default: src)")
+    lint_parser.add_argument("--rules", default=None, metavar="IDS",
+                             help="comma-separated rule ids to run "
+                                  "(default: all; see --list-rules)")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print the rule table and exit")
+    lint_parser.add_argument("--baseline", default=None, metavar="FILE",
+                             help="baseline file grandfathering known "
+                                  "findings (default: lint-baseline.json "
+                                  "when it exists)")
+    lint_parser.add_argument("--no-baseline", action="store_true",
+                             help="ignore any baseline file (report "
+                                  "everything)")
+    lint_parser.add_argument("--write-baseline", action="store_true",
+                             help="write the current findings to the "
+                                  "baseline file and exit 0")
+    add_report_arguments(lint_parser)
+    lint_parser.set_defaults(func=_cmd_lint)
+
+    check = sub.add_parser(
+        "check",
+        help="statically validate pipeline specs, serve policies and plan "
+             "shardability without executing anything (fails in "
+             "milliseconds where a run would fail mid-flight)",
+    )
+    check.add_argument("--pipeline", action="append", default=None,
+                       metavar="SPEC",
+                       help="check one pipeline spec (repeatable; sweeps, "
+                            "race(...), budget=<s>s and @backend included)")
+    check.add_argument("--members", default=None,
+                       help="comma-separated member names/specs to check")
+    check.add_argument("--policy", action="store_true",
+                       help="check the serve policy tiers (the shipped "
+                            "defaults unless overridden)")
+    check.add_argument("--policy-cheap", default=None, metavar="SPEC",
+                       help="override the cheap policy tier spec")
+    check.add_argument("--policy-steady", default=None, metavar="SPEC",
+                       help="override the steady policy tier spec")
+    check.add_argument("--policy-rich", default=None, metavar="SPEC",
+                       help="override the rich policy tier spec")
+    check.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="also dry-run the deterministic shard "
+                            "assignment of the specs x dataset plan "
+                            "(catches the coordinator's "
+                            "ConfigurationError without starting workers)")
+    check.add_argument("--which", choices=["tiny", "small"], default="tiny",
+                       help="dataset for the --shards plan dry-run")
+    check.add_argument("--scale", choices=["default", "paper"],
+                       default="default")
+    check.add_argument("--limit", type=int, default=None,
+                       help="only the first N instances of the dataset")
+    check.add_argument("--processors", "-p", type=int, default=4,
+                       help="processor count assumed by the incumbent "
+                            "analysis (dfs applies only to P = 1)")
+    check.add_argument("--max-sweep", type=int, default=16,
+                       help="sweep cardinality above which REP-S05 warns "
+                            "(default 16)")
+    add_report_arguments(check)
+    check.set_defaults(func=_cmd_check)
 
     port = sub.add_parser("portfolio", help="run a scheduler portfolio over a dataset")
     port.add_argument("--members", default=None,

@@ -19,7 +19,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ScheduleError
 from repro.ilp.solution import SolutionStatus
 from repro.ilp import solve
 from repro.model.cost import schedule_cost
@@ -185,7 +185,11 @@ class MbspIlpScheduler:
                 validate_schedule(candidate, require_all_computed=False)
                 ilp_schedule = candidate
                 ilp_cost = schedule_cost(candidate, synchronous=config.synchronous)
-            except Exception:
+            except (ScheduleError, KeyError, IndexError):
+                # an unusable solver solution: extraction indexes the
+                # variable/solution arrays (KeyError/IndexError on partial
+                # assignments) and validation raises InvalidScheduleError;
+                # the warm-start contract then keeps the baseline schedule
                 ilp_schedule = None
                 ilp_cost = None
 

@@ -52,7 +52,7 @@ def dag_from_dict(data: dict) -> ComputationalDag:
 
 def save_json(dag: ComputationalDag, path: PathLike) -> None:
     """Write ``dag`` to ``path`` as a JSON document."""
-    Path(path).write_text(json.dumps(dag_to_dict(dag), indent=2))
+    Path(path).write_text(json.dumps(dag_to_dict(dag), indent=2, sort_keys=True))
 
 
 def load_json(path: PathLike) -> ComputationalDag:

@@ -212,7 +212,7 @@ class Session:
                 loop.run_until_complete(task)
             except asyncio.CancelledError:
                 relay.put(("done", None))
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
+            except BaseException as exc:  # repro: lint-ignore[REP-C03] - relayed to the consuming thread and re-raised there
                 relay.put(("error", exc))
             else:
                 relay.put(("done", None))
@@ -449,7 +449,7 @@ class Session:
                             result = await execute_one(node)
                     finally:
                         busy_slots[0] -= 1
-            except BaseException as exc:  # noqa: BLE001 - resurfaced below
+            except BaseException as exc:  # repro: lint-ignore[REP-C03] - queued and resurfaced by the plan driver
                 queue.put_nowait((i, None, exc))
                 return
             queue.put_nowait((i, result, None))

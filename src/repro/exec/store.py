@@ -119,7 +119,7 @@ class ResultCache:
             return
         try:
             with os.fdopen(fd, "w") as handle:
-                handle.write(json.dumps(result.to_dict()))
+                handle.write(json.dumps(result.to_dict(), sort_keys=True))
             os.replace(tmp, path)
         except OSError as exc:
             try:
@@ -229,7 +229,7 @@ class ResultLog:
             "instance": job.instance_name,
             "result": result.to_dict(),
         }
-        self._handle.write(json.dumps(record) + "\n")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
         self._streamed_keys.add(key)
         if self._recorded_index is not None:

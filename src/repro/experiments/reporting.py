@@ -91,7 +91,13 @@ def write_jsonl(results: Sequence[InstanceResult], path: PathLike) -> None:
     """Write results as JSONL (one serialized result per line)."""
     with open(path, "w") as handle:
         for res in results:
-            handle.write(json.dumps({"instance": res.instance_name, "result": res.to_dict()}) + "\n")
+            handle.write(
+                json.dumps(
+                    {"instance": res.instance_name, "result": res.to_dict()},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
 
 
 def iter_jsonl_records(path: PathLike) -> Iterator[dict]:

@@ -16,6 +16,11 @@ from repro.exceptions import IlpError
 Number = Union[int, float]
 INF = float("inf")
 
+#: Type tag mixed into Variable.__hash__ ("REPR" in ASCII).  A fixed int —
+#: never id()/str material, whose hashes vary per process — keeps variable
+#: hashes (and anything keyed on them) stable across workers and shards.
+_VARIABLE_HASH_TAG = 0x52455052
+
 
 class Variable:
     """A decision variable (continuous, integer or binary).
@@ -79,7 +84,10 @@ class Variable:
         return self._expr() == other
 
     def __hash__(self) -> int:
-        return hash((id(type(self)), self.index))
+        # an int-only tuple: int hashing is not PYTHONHASHSEED-salted, so
+        # the hash (unlike id()- or string-based keys) is identical across
+        # worker processes and shards
+        return hash((_VARIABLE_HASH_TAG, self.index))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "int" if self.is_integer else "cont"

@@ -161,7 +161,9 @@ def solve_with_scipy(model: IlpModel, options: Optional[SolverOptions] = None) -
             integrality=compiled.integrality,
             options=milp_options,
         )
-    except Exception as exc:  # pragma: no cover - defensive
+    except (ValueError, TypeError, ArithmeticError) as exc:  # pragma: no cover - defensive
+        # scipy.optimize.milp rejects malformed inputs with ValueError /
+        # TypeError; ArithmeticError covers numerical blowups in HiGHS glue
         raise SolverError(f"scipy.optimize.milp failed: {exc}") from exc
 
     elapsed = time.perf_counter() - start

@@ -1,0 +1,95 @@
+"""Checked-in finding baselines: grandfather old findings, gate new ones.
+
+A baseline is a small JSON document listing known findings by
+``(path, rule, line)``.  ``repro lint --baseline FILE`` subtracts the
+baselined findings from the report, so CI fails only on *new* findings;
+``repro lint --write-baseline`` regenerates the file (sorted, stable
+key order) when a finding is deliberately accepted.
+
+The match key excludes the message on purpose: rewording a diagnostic
+must not un-grandfather a finding.  It *includes* the line number, so a
+baselined finding that drifts (the file changed around it) resurfaces —
+that is the desired behaviour: the edit touched the hazard, re-judge it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.lint.engine import Finding
+
+#: Baseline document version (bump on schema changes).
+BASELINE_VERSION = 1
+
+#: Default baseline location (repo root, checked in).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+BaselineKey = Tuple[str, str, int]
+
+
+def baseline_from_findings(findings: Sequence[Finding]) -> dict:
+    """The baseline document grandfathering exactly ``findings``."""
+    entries = sorted(
+        (
+            {
+                "path": f.path,
+                "rule": f.rule,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["line"], e["rule"]),
+    )
+    return {"version": BASELINE_VERSION, "findings": entries}
+
+
+def write_baseline(path, findings: Sequence[Finding]) -> None:
+    """Write the baseline file (sorted entries, sorted keys, newline-terminated)."""
+    document = baseline_from_findings(findings)
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path) -> Set[BaselineKey]:
+    """The grandfathered ``(path, rule, line)`` keys of a baseline file."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigurationError(f"lint baseline {path!s} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"lint baseline {path!s} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(document, dict) or "findings" not in document:
+        raise ConfigurationError(
+            f"lint baseline {path!s} is malformed: expected an object with "
+            f"a 'findings' list"
+        )
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"lint baseline {path!s} has version {version!r}; this build "
+            f"reads version {BASELINE_VERSION}"
+        )
+    keys: Set[BaselineKey] = set()
+    for entry in document["findings"]:
+        try:
+            keys.add((str(entry["path"]), str(entry["rule"]), int(entry["line"])))
+        except (TypeError, KeyError, ValueError):
+            raise ConfigurationError(
+                f"lint baseline {path!s} has a malformed entry: {entry!r} "
+                f"(expected path/rule/line)"
+            ) from None
+    return keys
+
+
+def filter_baselined(
+    findings: Sequence[Finding], baseline: Set[BaselineKey]
+) -> List[Finding]:
+    """The findings *not* grandfathered by ``baseline`` (order preserved)."""
+    return [f for f in findings if f.baseline_key() not in baseline]

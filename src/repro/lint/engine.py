@@ -1,0 +1,305 @@
+"""The rule engine of :mod:`repro.lint`.
+
+The engine mirrors the registry idiom of :mod:`repro.ilp.backends` and
+:mod:`repro.pipeline.registry`: rules register under a stable id
+(``REP-D01``, ``REP-C02``, ...) with a severity and a one-line
+description, and :func:`lint_paths` runs every (selected) rule over the
+parsed AST of each Python file, returning sorted
+:class:`Finding`\\ s.
+
+Two escape hatches keep the analyzer usable on real code:
+
+* **suppressions** — a ``# repro: lint-ignore[REP-D01]`` comment on the
+  flagged line (or on the line directly above it) silences the named
+  rule(s) there; ``# repro: lint-ignore`` without brackets silences every
+  rule for that line.  Suppressions are deliberate and visible in the
+  diff, unlike a baseline entry.
+* **baselines** — :mod:`repro.lint.baseline` grandfathers existing
+  findings in a checked-in JSON file so the CI gate only fails on *new*
+  findings.
+
+Rules are AST-based, not regex-based: a rule's :meth:`Rule.check`
+receives a :class:`FileContext` with the parsed tree, the source lines
+and the repo-relative path, and yields findings.  A file that does not
+parse produces the engine-level ``REP-P01`` finding instead of crashing
+the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Severity levels, most severe first (the reporters sort findings with
+#: errors before warnings before notes at equal location).
+SEVERITIES = ("error", "warning", "info")
+
+#: Suppression comment:  ``# repro: lint-ignore[REP-D01,REP-C02]``  or the
+#: bracket-free ``# repro: lint-ignore`` silencing every rule on the line.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*lint-ignore(?:\[(?P<rules>[A-Za-z0-9,\-\s]*)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding, anchored to a file position (or, for the
+    semantic checker, to a virtual source such as ``<spec:...>``)."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def baseline_key(self) -> Tuple[str, str, int]:
+        """The identity used for baseline matching (message-insensitive,
+        so rewording a diagnostic does not un-grandfather a finding)."""
+        return (self.path, self.rule, self.line)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to check one file."""
+
+    path: str                 # repo-relative posix path (reported)
+    text: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+    #: line number -> suppressed rule ids ("*" suppresses every rule)
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether a suppression comment covers the finding's line (the
+        marker may sit on the line itself or on the line directly above)."""
+        for line in (finding.line, finding.line - 1):
+            rules = self.suppressions.get(line)
+            if rules is not None and ("*" in rules or finding.rule in rules):
+                return True
+        return False
+
+
+class Rule:
+    """Base class of all lint rules.
+
+    Subclasses set ``id`` (stable, ``REP-<pack><nn>``), ``severity`` and
+    ``description``, and implement :meth:`check`.
+    """
+
+    id: str = ""
+    severity: str = "warning"
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# registry (mirroring repro.ilp.backends / repro.pipeline.registry)
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(rule):
+    """Register a rule (instance or class — classes are usable as a
+    decorator) under its id.
+
+    Re-registering an id replaces the previous rule (useful in tests);
+    a malformed id or severity is rejected up front, like the stage and
+    backend registries.  Returns the argument unchanged, so decorated
+    classes stay classes.
+    """
+    registered = rule() if isinstance(rule, type) else rule
+    if not re.fullmatch(r"REP-[A-Z]\d{2}", registered.id or ""):
+        raise ConfigurationError(
+            f"lint rule id {registered.id!r} is malformed; expected "
+            f"'REP-<letter><nn>' (e.g. 'REP-D01')"
+        )
+    if registered.severity not in SEVERITIES:
+        raise ConfigurationError(
+            f"lint rule {registered.id}: unknown severity "
+            f"{registered.severity!r}; expected one of {SEVERITIES}"
+        )
+    _REGISTRY[registered.id] = registered
+    return rule
+
+
+def available_rules() -> List[str]:
+    """Sorted ids of all registered rules."""
+    return sorted(_REGISTRY)
+
+
+def rule_descriptions() -> List[Tuple[str, str, str]]:
+    """``(id, severity, description)`` triples of all rules, sorted by id."""
+    return [
+        (rule_id, _REGISTRY[rule_id].severity, _REGISTRY[rule_id].description)
+        for rule_id in available_rules()
+    ]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (case-insensitive)."""
+    key = str(rule_id).strip().upper()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown lint rule {rule_id!r}; available rules: {available_rules()}"
+        ) from None
+
+
+def select_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """The rules to run: all registered ones, or the named subset."""
+    if not rule_ids:
+        return [_REGISTRY[rule_id] for rule_id in available_rules()]
+    return [get_rule(rule_id) for rule_id in rule_ids]
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def scan_suppressions(text: str) -> Dict[int, Set[str]]:
+    """Map line numbers (1-based) to the rule ids suppressed there."""
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = {"*"}
+        else:
+            ids = {r.strip().upper() for r in rules.split(",") if r.strip()}
+            suppressions[lineno] = ids or {"*"}
+    return suppressions
+
+
+# ----------------------------------------------------------------------
+# running
+# ----------------------------------------------------------------------
+class _ParseErrorRule(Rule):
+    id = "REP-P01"
+    severity = "error"
+    description = "file does not parse as Python (syntax error)"
+
+
+PARSE_ERROR_RULE = register_rule(_ParseErrorRule())
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``paths`` (files or directories),
+    sorted, skipping hidden directories and ``__pycache__``."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in p.parts
+                )
+            )
+        else:
+            raise ConfigurationError(f"lint path {raw!r} does not exist")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_file(
+    path: Path, rules: Sequence[Rule], root: Optional[Path] = None
+) -> List[Finding]:
+    """Run ``rules`` over one file; suppression comments are honoured."""
+    root = root if root is not None else Path.cwd()
+    rel = _relative(path, root)
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR_RULE.id,
+                severity=PARSE_ERROR_RULE.severity,
+                path=rel,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=rel,
+        text=text,
+        tree=tree,
+        lines=text.splitlines(),
+        suppressions=scan_suppressions(text),
+    )
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding):
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rule_ids: Optional[Sequence[str]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths`` and return sorted findings."""
+    rules = [
+        rule for rule in select_rules(rule_ids) if rule.id != PARSE_ERROR_RULE.id
+    ]
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules, root=root))
+    findings.sort(key=Finding.sort_key)
+    return findings

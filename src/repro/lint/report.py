@@ -1,0 +1,85 @@
+"""Reporters and exit codes shared by ``repro lint`` and ``repro check``.
+
+Exit codes are stable API (CI scripts key on them):
+
+========================  ===
+no gating findings          0
+gating findings             1
+usage / setup error         2
+========================  ===
+
+``info``-severity findings are reported but never gate — they exist for
+advisory rules that should not fail CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Sequence
+
+from repro.lint.engine import SEVERITIES, Finding
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+#: Severities that gate (drive a non-zero exit code).
+GATING_SEVERITIES = ("error", "warning")
+
+
+def gating_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """The findings that should fail the run (errors and warnings)."""
+    return [f for f in findings if f.severity in GATING_SEVERITIES]
+
+
+def severity_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts = {severity: 0 for severity in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    return counts
+
+
+def render_text(findings: Sequence[Finding], out: IO[str]) -> None:
+    """``path:line:col: RULE severity: message`` lines plus a summary."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    for finding in ordered:
+        out.write(finding.render() + "\n")
+    counts = severity_counts(findings)
+    summary = ", ".join(
+        f"{counts[severity]} {severity}{'s' if counts[severity] != 1 else ''}"
+        for severity in SEVERITIES
+        if counts[severity]
+    )
+    if findings:
+        out.write(f"{len(findings)} finding(s): {summary}\n")
+    else:
+        out.write("no findings\n")
+
+
+def report_dict(
+    findings: Sequence[Finding], *, baselined: int = 0
+) -> Dict[str, object]:
+    """The JSON report document (stable key order when dumped sorted)."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    return {
+        "findings": [f.to_dict() for f in ordered],
+        "counts": severity_counts(findings),
+        "baselined": baselined,
+        "total": len(findings),
+    }
+
+
+def render_json(
+    findings: Sequence[Finding], out: IO[str], *, baselined: int = 0
+) -> None:
+    """The machine-readable report (sorted keys: byte-stable for CI diffs)."""
+    out.write(
+        json.dumps(report_dict(findings, baselined=baselined), indent=2,
+                   sort_keys=True)
+        + "\n"
+    )
+
+
+def exit_code(findings: Sequence[Finding]) -> int:
+    """The stable exit code for a set of (post-baseline) findings."""
+    return EXIT_FINDINGS if gating_findings(findings) else EXIT_OK

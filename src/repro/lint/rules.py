@@ -1,0 +1,413 @@
+"""Rule pack A: determinism & concurrency hazards.
+
+Every rule here encodes a hazard class that has actually bitten this
+codebase (see ISSUE/CHANGES history): salted ``hash()`` seeding,
+wall-clock reads leaking into results, unordered ``set`` iteration
+flowing into writers, shared temp-file races, blocking calls inside the
+async Session core, and broad exception handlers masking cancellation.
+
+The rules are deliberately conservative: each one targets the specific
+shape the hazard takes in this repo, and the ``# repro: lint-ignore``
+suppression plus the JSON baseline absorb the (rare) deliberate uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule, register_rule
+
+#: Paths (posix, repo-relative substrings) where wall-clock reads are
+#: legitimate: the observability layer timestamps spans/metrics by design
+#: and is excluded from every determinism guarantee.
+WALL_CLOCK_ALLOWLIST: Tuple[str, ...] = ("repro/obs/",)
+
+#: ``random`` module-level functions that consult the shared global RNG.
+_RANDOM_MODULE_FUNCS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "normalvariate", "betavariate",
+        "expovariate", "triangular", "vonmisesvariate", "paretovariate",
+        "weibullvariate", "lognormvariate", "getrandbits", "randbytes",
+        "seed", "setstate",
+    }
+)
+
+#: Blocking calls that must not run on the event loop thread.
+_BLOCKING_CALLS = frozenset(
+    {"time.sleep", "os.system", "subprocess.run", "subprocess.call",
+     "subprocess.check_call", "subprocess.check_output", "subprocess.Popen"}
+)
+
+#: ``tempfile`` factories whose ``suffix=``/``prefix=`` kwargs legitimately
+#: carry fixed fragments like ``".tmp"`` (the file name itself is unique).
+_TEMPFILE_FACTORIES = frozenset(
+    {"mkstemp", "mkdtemp", "NamedTemporaryFile", "TemporaryFile",
+     "SpooledTemporaryFile", "TemporaryDirectory"}
+)
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _calls_in(node: ast.AST) -> Iterator[ast.Call]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def _is_call_to(node: ast.AST, *names: str) -> bool:
+    return isinstance(node, ast.Call) and _dotted_name(node.func) in names
+
+
+@register_rule
+class HashOfIdRule(Rule):
+    """``hash(... id(...) ...)`` — ``id()`` is a process-local address, so
+    any hash/key derived from it differs across workers and shards."""
+
+    id = "REP-D01"
+    severity = "error"
+    description = "id() feeding hash(): process-dependent hash/key material"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in _calls_in(ctx.tree):
+            if not _is_call_to(call, "hash"):
+                continue
+            for arg in call.args:
+                for inner in _calls_in(arg):
+                    if _is_call_to(inner, "id"):
+                        yield ctx.finding(
+                            self,
+                            inner,
+                            "id() inside hash(): id() is a process-local "
+                            "address; derive the key from stable data "
+                            "(ints, sorted content) instead",
+                        )
+
+
+@register_rule
+class BuiltinHashRule(Rule):
+    """Builtin ``hash()`` outside a ``__hash__`` method: str/bytes hashes
+    are PYTHONHASHSEED-salted, so persisting or ordering by them is a
+    cross-process determinism hazard."""
+
+    id = "REP-D02"
+    severity = "warning"
+    description = "builtin hash() outside __hash__: PYTHONHASHSEED-salted"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        enclosing: List[str] = []
+
+        def visit(node: ast.AST) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                enclosing.append(node.name)
+                for child in ast.iter_child_nodes(node):
+                    yield from visit(child)
+                enclosing.pop()
+                return
+            if _is_call_to(node, "hash") and "__hash__" not in enclosing:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "builtin hash() outside a __hash__ method: str/bytes "
+                    "hashes are salted per process (PYTHONHASHSEED); use "
+                    "hashlib over canonical bytes for persistent keys",
+                )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+
+        yield from visit(ctx.tree)
+
+
+@register_rule
+class WallClockRule(Rule):
+    """Wall-clock reads outside the ``repro.obs`` allowlist: results and
+    fingerprints must be pure functions of inputs + seed."""
+
+    id = "REP-D03"
+    severity = "error"
+    description = "wall-clock read (time.time/datetime.now) outside repro.obs"
+
+    _CLOCK_CALLS = frozenset(
+        {"time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+         "datetime.today", "datetime.datetime.now", "datetime.datetime.utcnow",
+         "datetime.datetime.today", "date.today", "datetime.date.today"}
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if any(fragment in ctx.path for fragment in WALL_CLOCK_ALLOWLIST):
+            return
+        for call in _calls_in(ctx.tree):
+            name = _dotted_name(call.func)
+            if name in self._CLOCK_CALLS:
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"wall-clock read {name}() outside the repro.obs "
+                    "allowlist: results must be pure functions of inputs + "
+                    "seed (use obs spans for timing)",
+                )
+
+
+@register_rule
+class GlobalRandomRule(Rule):
+    """Module-level ``random.*`` calls share interpreter-global RNG state;
+    every stochastic path here must thread an explicit
+    ``random.Random(seed)`` instance."""
+
+    id = "REP-D04"
+    severity = "error"
+    description = "module-level random.* call: use random.Random(seed)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in _calls_in(ctx.tree):
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr in _RANDOM_MODULE_FUNCS
+            ):
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"random.{func.attr}() uses the shared global RNG; "
+                    "thread an explicit random.Random(seed) instance",
+                )
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """Iterating a set directly (for-loop or comprehension source) yields
+    PYTHONHASHSEED-dependent order; wrap in ``sorted(...)`` before the
+    order can flow into JSONL/fingerprint writers."""
+
+    id = "REP-D05"
+    severity = "warning"
+    description = "iteration over a set expression: order is hash-salted"
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        return (
+            isinstance(node, (ast.Set, ast.SetComp))
+            or _is_call_to(node, "set", "frozenset")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_set_expr(it):
+                    yield ctx.finding(
+                        self,
+                        it,
+                        "iterating a set expression: element order depends "
+                        "on PYTHONHASHSEED; wrap in sorted(...) before the "
+                        "order can reach any writer or fingerprint",
+                    )
+
+
+@register_rule
+class FixedTempFileRule(Rule):
+    """A fixed ``*.tmp`` name in a module that also calls ``os.replace``
+    is the shared-temp-file race that corrupted the cache store in PR 6;
+    use ``tempfile.mkstemp`` for a unique name (its ``suffix=``/``prefix=``
+    kwargs are exempt)."""
+
+    id = "REP-D06"
+    severity = "warning"
+    description = "fixed-name '*.tmp' next to os.replace: multi-process race"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module_replaces = any(
+            _is_call_to(call, "os.replace") for call in _calls_in(ctx.tree)
+        )
+        if not module_replaces:
+            return
+        exempt: Set[int] = set()
+        for call in _calls_in(ctx.tree):
+            name = _dotted_name(call.func) or ""
+            if name.split(".")[-1] in _TEMPFILE_FACTORIES:
+                for kw in call.keywords:
+                    if kw.arg in ("suffix", "prefix"):
+                        exempt.add(id(kw.value))
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value.endswith(".tmp")
+                and id(node) not in exempt
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"fixed temp name {node.value!r} in a module using "
+                    "os.replace: concurrent processes clobber each other; "
+                    "use tempfile.mkstemp for a unique name",
+                )
+
+
+@register_rule
+class UnsortedDumpsRule(Rule):
+    """``json.dumps`` without ``sort_keys=True`` fed directly into a
+    ``.write(...)``/``.write_text(...)`` call: byte-stability of record
+    files then depends on dict construction order."""
+
+    id = "REP-D07"
+    severity = "warning"
+    description = "json.dumps without sort_keys=True inside a write call"
+
+    @staticmethod
+    def _dumps_without_sort(node: ast.AST) -> Optional[ast.Call]:
+        """The offending json.dumps call inside ``node``, if any.
+
+        Looks through string concatenation (``json.dumps(x) + "\\n"``)."""
+        for call in _calls_in(node):
+            if _is_call_to(call, "json.dumps"):
+                sorts = any(
+                    kw.arg == "sort_keys"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in call.keywords
+                )
+                if not sorts:
+                    return call
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in _calls_in(ctx.tree):
+            func = call.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("write", "write_text")
+            ):
+                continue
+            for arg in call.args:
+                offender = self._dumps_without_sort(arg)
+                if offender is not None:
+                    yield ctx.finding(
+                        self,
+                        offender,
+                        "json.dumps without sort_keys=True written to a "
+                        "record file: key order then depends on dict "
+                        "construction order, breaking byte-stable diffs",
+                    )
+
+
+@register_rule
+class BlockingInAsyncRule(Rule):
+    """Blocking calls lexically inside ``async def`` stall the event loop
+    (the Session core multiplexes all jobs on one loop)."""
+
+    id = "REP-C01"
+    severity = "error"
+    description = "blocking call (sleep/subprocess/open) inside async def"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        def visit(node: ast.AST, in_async: bool) -> Iterator[Finding]:
+            if isinstance(node, ast.AsyncFunctionDef):
+                in_async = True
+            elif isinstance(node, ast.FunctionDef):
+                in_async = False  # nested sync def runs off-loop via executor
+            if in_async and isinstance(node, ast.Call):
+                name = _dotted_name(node.func)
+                if name in _BLOCKING_CALLS or name == "open":
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"blocking call {name}() inside async def stalls "
+                        "the event loop; run it in an executor or use the "
+                        "async equivalent",
+                    )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, in_async)
+
+        yield from visit(ctx.tree, False)
+
+
+@register_rule
+class BroadExceptRule(Rule):
+    """``except Exception`` (or bare ``except:``) in Session/solver paths
+    masks cancellation and real faults; catch the specific types."""
+
+    id = "REP-C02"
+    severity = "warning"
+    description = "broad 'except Exception' / bare except handler"
+
+    @staticmethod
+    def _names(type_node: Optional[ast.AST]) -> List[Optional[str]]:
+        if type_node is None:
+            return [None]
+        if isinstance(type_node, ast.Tuple):
+            return [_dotted_name(el) for el in type_node.elts]
+        return [_dotted_name(type_node)]
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = self._names(node.type)
+            if None in names and node.type is not None:
+                names = [n for n in names if n is not None]
+            if node.type is None:
+                yield ctx.finding(
+                    self, node,
+                    "bare 'except:' catches everything including "
+                    "KeyboardInterrupt; name the expected exception types",
+                )
+            elif "Exception" in names:
+                yield ctx.finding(
+                    self, node,
+                    "broad 'except Exception' masks unexpected faults; "
+                    "catch the specific exception types this site expects",
+                )
+
+
+@register_rule
+class SwallowedBaseExceptionRule(Rule):
+    """``except BaseException`` that never re-raises swallows
+    ``CancelledError``/``KeyboardInterrupt``; the legitimate pattern here
+    (cross-thread error propagation) always stores-and-returns, and is
+    suppressed explicitly where used."""
+
+    id = "REP-C03"
+    severity = "warning"
+    description = "except BaseException without re-raise swallows cancellation"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            types = (
+                node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            )
+            if not any(_dotted_name(t) == "BaseException" for t in types):
+                continue
+            reraises = any(
+                isinstance(inner, ast.Raise)
+                for stmt in node.body
+                for inner in ast.walk(stmt)
+            )
+            if not reraises:
+                yield ctx.finding(
+                    self, node,
+                    "'except BaseException' without a re-raise swallows "
+                    "CancelledError/KeyboardInterrupt; re-raise, or "
+                    "suppress explicitly if the handler propagates the "
+                    "error by other means",
+                )

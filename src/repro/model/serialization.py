@@ -98,7 +98,9 @@ def schedule_from_dict(data: dict, instance: MbspInstance) -> MbspSchedule:
 
 def save_schedule(schedule: MbspSchedule, path: PathLike) -> None:
     """Write ``schedule`` to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+    Path(path).write_text(
+        json.dumps(schedule_to_dict(schedule), indent=2, sort_keys=True)
+    )
 
 
 def load_schedule(path: PathLike, instance: MbspInstance) -> MbspSchedule:

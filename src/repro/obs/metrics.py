@@ -185,7 +185,7 @@ class MetricsRegistry:
         try:
             os.makedirs(spill_dir, exist_ok=True)
             with open(path, "a") as handle:
-                handle.write(json.dumps(payload) + "\n")
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
         except OSError:  # pragma: no cover - spill must never break runs
             return False
         return True

@@ -265,7 +265,8 @@ class Tracer:
                     self._spill_handle = open(path, "a")
                 for span in spans:
                     self._spill_handle.write(
-                        json.dumps(span.to_dict(), default=repr) + "\n"
+                        json.dumps(span.to_dict(), default=repr, sort_keys=True)
+                        + "\n"
                     )
                 self._spill_handle.flush()
         except OSError:  # pragma: no cover - spill must never break runs

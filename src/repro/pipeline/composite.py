@@ -335,7 +335,7 @@ class RaceStage:
                             current is not None:
                         outcome.schedule = current.schedule
                         outcome.cost = current.cost
-            except BaseException as exc:  # noqa: BLE001 - re-raised by run()
+            except BaseException as exc:  # repro: lint-ignore[REP-C03] - stored on the outcome and re-raised by run()
                 outcome.error = exc
                 fail_fast()
             outcome.cancelled = token.cancel_requested

@@ -212,7 +212,7 @@ class ServiceReport:
         """Write the per-request telemetry as JSONL (one record per line)."""
         with open(path, "w") as handle:
             for record in self.records:
-                handle.write(json.dumps(record.to_dict()) + "\n")
+                handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
 
 
 class ScheduleService:

@@ -124,3 +124,46 @@ class TestConstraints:
         x, *_ = make_vars()
         con = (x <= 1).with_name("cap")
         assert con.name == "cap"
+
+
+class TestHashStability:
+    """Variable hashes must not depend on the process (PR 9 satellite).
+
+    The old key mixed id(type(self)) into the hash, which varies with
+    interpreter memory layout — anything ordered by variable hash (model
+    row order, warm-start key sets) could then differ between the
+    coordinator and its shard workers.
+    """
+
+    def test_hash_depends_only_on_index(self):
+        assert hash(Variable(7, "x7")) == hash(Variable(7, "renamed"))
+        assert hash(Variable(7, "x7")) != hash(Variable(8, "x8"))
+
+    def test_hash_stable_across_processes(self):
+        import pathlib
+        import subprocess
+        import sys
+
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        script = (
+            "from repro.ilp.expr import Variable; "
+            "print(' '.join(str(hash(Variable(i, 'v'))) for i in range(64)))"
+        )
+        outputs = set()
+        for hash_seed in ("0", "1", "424242"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={
+                    "PYTHONPATH": str(repo_root / "src"),
+                    "PYTHONHASHSEED": hash_seed,
+                },
+            )
+            outputs.add(result.stdout.strip())
+        # identical digests under three different hash seeds -- and they
+        # match this process too
+        assert len(outputs) == 1
+        local = " ".join(str(hash(Variable(i, "v"))) for i in range(64))
+        assert outputs == {local}

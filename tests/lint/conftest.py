@@ -1,0 +1,9 @@
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    """The repository root (the directory holding src/ and tests/)."""
+    return Path(__file__).resolve().parents[2]

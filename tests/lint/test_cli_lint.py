@@ -1,0 +1,176 @@
+"""CLI contract: ``repro lint`` / ``repro check`` exit codes and reports.
+
+Exit codes are part of the stable interface (CI keys off them):
+0 = clean, 1 = gating findings, 2 = usage error.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro import cli
+from repro.lint import EXIT_FINDINGS, EXIT_OK, EXIT_USAGE
+
+HAZARD = "key = hash(id(object()))\n"
+
+
+def write_tree(tmp_path, source=HAZARD, name="m.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestLintExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = write_tree(tmp_path, "x = 1\n")
+        assert cli.main(["lint", str(path)]) == EXIT_OK
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = write_tree(tmp_path)
+        assert cli.main(["lint", str(path)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "REP-D01" in out and "REP-D02" in out
+
+    def test_info_only_findings_do_not_gate(self, tmp_path):
+        # severity gating: only error/warning flip the exit code; D01 is
+        # an error, so narrow to a rule that cannot fire instead
+        path = write_tree(tmp_path, "x = 1\n")
+        assert cli.main(["lint", str(path), "--rules", "REP-D01"]) == EXIT_OK
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        path = write_tree(tmp_path, "x = 1\n")
+        assert cli.main(
+            ["lint", str(path), "--rules", "REP-X99"]
+        ) == EXIT_USAGE
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert cli.main(["lint", str(tmp_path / "nope")]) == EXIT_USAGE
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_list_rules_table(self, capsys):
+        assert cli.main(["lint", "--list-rules"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for rule_id in ("REP-D01", "REP-C03", "REP-P01"):
+            assert rule_id in out
+
+
+class TestBaselineWorkflow:
+    def test_write_then_gate(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(tmp_path)
+
+        # 1) grandfather the current findings
+        assert cli.main(["lint", "m.py", "--write-baseline"]) == EXIT_OK
+        doc = json.loads((tmp_path / "lint-baseline.json").read_text())
+        assert doc["version"] == 1
+        assert len(doc["findings"]) == 2  # D01 + D02 on the hazard line
+        capsys.readouterr()
+
+        # 2) the baseline is auto-discovered and the re-run is clean
+        assert cli.main(["lint", "m.py"]) == EXIT_OK
+        assert "baselined" in capsys.readouterr().out
+
+        # 3) a NEW finding still gates
+        (tmp_path / "m.py").write_text(HAZARD + "t = time.time()\n")
+        assert cli.main(["lint", "m.py"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "REP-D03" in out and "REP-D01" not in out
+
+        # 4) --no-baseline reports everything again
+        assert cli.main(["lint", "m.py", "--no-baseline"]) == EXIT_FINDINGS
+        assert "REP-D01" in capsys.readouterr().out
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_tree(tmp_path, "x = 1\n")
+        (tmp_path / "lint-baseline.json").write_text("{broken")
+        assert cli.main(["lint", "m.py"]) == EXIT_USAGE
+
+
+class TestJsonReport:
+    def test_json_report_shape_and_stability(self, tmp_path, capsys):
+        path = write_tree(tmp_path)
+        argv = ["lint", str(path), "--format", "json", "--no-baseline"]
+        assert cli.main(argv) == EXIT_FINDINGS
+        first = capsys.readouterr().out
+        doc = json.loads(first)
+        assert doc["total"] == 2
+        assert doc["baselined"] == 0
+        assert {f["rule"] for f in doc["findings"]} == {"REP-D01", "REP-D02"}
+        assert doc["counts"]["error"] == 1
+        # byte-stable across runs
+        assert cli.main(argv) == EXIT_FINDINGS
+        assert capsys.readouterr().out == first
+
+    def test_output_file(self, tmp_path, capsys):
+        path = write_tree(tmp_path, "x = 1\n")
+        report = tmp_path / "report.json"
+        assert cli.main(
+            ["lint", str(path), "--format", "json", "--output", str(report)]
+        ) == EXIT_OK
+        assert json.loads(report.read_text())["total"] == 0
+
+
+class TestSelfGate:
+    def test_repo_src_lints_clean_via_cli(self, repo_root, capsys,
+                                          monkeypatch):
+        # the CI lint gate, end to end: src/ against the shipped baseline
+        monkeypatch.chdir(repo_root)
+        assert cli.main(["lint", "src"]) == EXIT_OK
+
+
+class TestCheckCommand:
+    def test_default_smoke_set_is_clean(self, capsys):
+        # DEFAULT_MEMBERS + EXAMPLE_RACE_SPECS + shipped policy tiers —
+        # exactly the CI smoke invocation
+        assert cli.main(["check"]) == EXIT_OK
+        assert "all statically valid" in capsys.readouterr().out
+
+    def test_bad_spec_exits_one(self, capsys):
+        assert cli.main(
+            ["check", "--pipeline", "nosuchstage"]
+        ) == EXIT_FINDINGS
+        assert "REP-S01" in capsys.readouterr().out
+
+    def test_duplicate_race_branches_rejected(self, capsys):
+        assert cli.main(
+            ["check", "--pipeline", "race(ilp@scipy,ilp@scipy)"]
+        ) == EXIT_FINDINGS
+        assert "REP-S02" in capsys.readouterr().out
+
+    def test_policy_override_checked(self, capsys):
+        assert cli.main(
+            ["check", "--policy-rich", "nosuchmember"]
+        ) == EXIT_FINDINGS
+        assert "REP-S06" in capsys.readouterr().out
+
+    def test_members_list_checked(self, capsys):
+        assert cli.main(
+            ["check", "--members", "bspg+clairvoyant,cilk+lru,ilp"]
+        ) == EXIT_OK
+
+    def test_shards_dry_run(self, capsys):
+        # three independent member plans with no edges shard freely
+        assert cli.main(
+            ["check", "--members", "bspg+clairvoyant,ilp",
+             "--shards", "2", "--limit", "2"]
+        ) == EXIT_OK
+
+    def test_bad_shard_count_rejected(self, capsys):
+        assert cli.main(
+            ["check", "--members", "bspg+clairvoyant",
+             "--shards", "0", "--limit", "1"]
+        ) == EXIT_FINDINGS
+        assert "REP-S07" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert cli.main(
+            ["check", "--pipeline", "baseline(budget=5s)",
+             "--format", "json"]
+        ) == EXIT_FINDINGS
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"][0]["rule"] == "REP-S03"

@@ -1,0 +1,96 @@
+"""Baseline round-trip: write, load, filter, and the failure modes."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lint import (
+    Finding,
+    baseline_from_findings,
+    filter_baselined,
+    load_baseline,
+    write_baseline,
+)
+
+
+def make_finding(path="src/m.py", line=3, rule="REP-D01", message="boom"):
+    return Finding(
+        rule=rule, severity="error", path=path, line=line, col=1,
+        message=message,
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_load_matches(self, tmp_path):
+        findings = [make_finding(), make_finding(path="src/n.py", line=9)]
+        target = tmp_path / "baseline.json"
+        write_baseline(target, findings)
+        keys = load_baseline(target)
+        assert keys == {f.baseline_key() for f in findings}
+
+    def test_filter_removes_known_keeps_new(self, tmp_path):
+        old = make_finding()
+        new = make_finding(line=40, rule="REP-C02")
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [old])
+        fresh = filter_baselined([old, new], load_baseline(target))
+        assert fresh == [new]
+
+    def test_match_ignores_message_text(self, tmp_path):
+        # refreshed wording must not resurrect a baselined finding
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [make_finding(message="old wording")])
+        fresh = filter_baselined(
+            [make_finding(message="new wording")], load_baseline(target)
+        )
+        assert fresh == []
+
+    def test_serialized_form_is_stable(self, tmp_path):
+        # byte-identical across runs: sorted keys, sorted findings, newline
+        findings = [make_finding(path="b.py"), make_finding(path="a.py")]
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        write_baseline(first, findings)
+        write_baseline(second, list(reversed(findings)))
+        assert first.read_bytes() == second.read_bytes()
+        assert first.read_text().endswith("\n")
+
+    def test_baseline_dict_shape(self):
+        doc = baseline_from_findings([make_finding()])
+        assert doc["version"] == 1
+        assert doc["findings"] == [
+            {"line": 3, "message": "boom", "path": "src/m.py", "rule": "REP-D01"}
+        ]
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_malformed_json(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_baseline(target)
+
+    def test_version_mismatch(self, tmp_path):
+        target = tmp_path / "future.json"
+        target.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ConfigurationError, match="version"):
+            load_baseline(target)
+
+    def test_non_object_document(self, tmp_path):
+        target = tmp_path / "list.json"
+        target.write_text("[]")
+        with pytest.raises(ConfigurationError):
+            load_baseline(target)
+
+
+class TestShippedBaseline:
+    def test_checked_in_baseline_is_empty_and_loadable(self, repo_root):
+        # the acceptance criterion: src/ lints clean, so the shipped
+        # baseline carries no grandfathered findings
+        keys = load_baseline(repo_root / "lint-baseline.json")
+        assert keys == set()

@@ -1,0 +1,140 @@
+"""Engine mechanics: registry, suppressions, file walking, parse errors."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lint import (
+    Finding,
+    Rule,
+    available_rules,
+    get_rule,
+    lint_file,
+    lint_paths,
+    register_rule,
+    rule_descriptions,
+    scan_suppressions,
+)
+from repro.lint.engine import select_rules
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestRegistry:
+    def test_all_pack_a_rules_registered(self):
+        rules = available_rules()
+        for expected in (
+            "REP-D01", "REP-D02", "REP-D03", "REP-D04", "REP-D05",
+            "REP-D06", "REP-D07", "REP-C01", "REP-C02", "REP-C03",
+            "REP-P01",
+        ):
+            assert expected in rules
+
+    def test_rule_ids_are_sorted_and_described(self):
+        triples = rule_descriptions()
+        assert [t[0] for t in triples] == sorted(t[0] for t in triples)
+        assert all(t[1] in ("error", "warning", "info") for t in triples)
+        assert all(t[2] for t in triples)
+
+    def test_get_rule_is_case_insensitive(self):
+        assert get_rule("rep-d01").id == "REP-D01"
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown lint rule"):
+            get_rule("REP-X99")
+
+    def test_malformed_id_rejected(self):
+        class Bad(Rule):
+            id = "NOT-AN-ID"
+            severity = "error"
+
+        with pytest.raises(ConfigurationError, match="malformed"):
+            register_rule(Bad())
+
+    def test_bad_severity_rejected(self):
+        class Bad(Rule):
+            id = "REP-Z99"
+            severity = "fatal"
+
+        with pytest.raises(ConfigurationError, match="severity"):
+            register_rule(Bad())
+
+    def test_select_subset(self):
+        rules = select_rules(["REP-D01", "REP-C02"])
+        assert [r.id for r in rules] == ["REP-D01", "REP-C02"]
+
+
+class TestSuppressions:
+    def test_bracketed_and_bare_markers(self):
+        text = (
+            "x = 1  # repro: lint-ignore[REP-D01]\n"
+            "y = 2  # repro: lint-ignore[REP-D01, REP-C02]\n"
+            "z = 3  # repro: lint-ignore\n"
+            "plain = 4\n"
+        )
+        marks = scan_suppressions(text)
+        assert marks[1] == {"REP-D01"}
+        assert marks[2] == {"REP-D01", "REP-C02"}
+        assert marks[3] == {"*"}
+        assert 4 not in marks
+
+    def test_suppression_on_same_line(self, tmp_path):
+        path = _write(
+            tmp_path, "m.py",
+            "key = hash(id(object()))  # repro: lint-ignore[REP-D01]\n",
+        )
+        findings = lint_file(path, select_rules(["REP-D01"]), root=tmp_path)
+        assert findings == []
+
+    def test_suppression_on_line_above(self, tmp_path):
+        path = _write(
+            tmp_path, "m.py",
+            "# repro: lint-ignore[REP-D01]\nkey = hash(id(object()))\n",
+        )
+        findings = lint_file(path, select_rules(["REP-D01"]), root=tmp_path)
+        assert findings == []
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        path = _write(
+            tmp_path, "m.py",
+            "key = hash(id(object()))  # repro: lint-ignore[REP-C02]\n",
+        )
+        findings = lint_file(path, select_rules(["REP-D01"]), root=tmp_path)
+        assert [f.rule for f in findings] == ["REP-D01"]
+
+
+class TestWalkingAndParsing:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        path = _write(tmp_path, "broken.py", "def nope(:\n")
+        findings = lint_paths([str(path)], root=tmp_path)
+        assert [f.rule for f in findings] == ["REP-P01"]
+        assert findings[0].severity == "error"
+
+    def test_directory_walk_skips_pycache_and_hidden(self, tmp_path):
+        _write(tmp_path, "a.py", "key = hash(id(object()))\n")
+        (tmp_path / "__pycache__").mkdir()
+        _write(tmp_path / "__pycache__", "b.py", "key = hash(id(object()))\n")
+        (tmp_path / ".hidden").mkdir()
+        _write(tmp_path / ".hidden", "c.py", "key = hash(id(object()))\n")
+        findings = lint_paths([str(tmp_path)], ["REP-D01"], root=tmp_path)
+        assert [f.path for f in findings] == ["a.py"]
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            lint_paths([str(tmp_path / "nope")])
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        _write(tmp_path, "b.py", "x = hash(id(a))\n")
+        _write(tmp_path, "a.py", "y = 1\nx = hash(id(a))\n")
+        findings = lint_paths([str(tmp_path)], ["REP-D01"], root=tmp_path)
+        assert [(f.path, f.line) for f in findings] == [("a.py", 2), ("b.py", 1)]
+
+    def test_finding_render_is_clickable(self):
+        finding = Finding(
+            rule="REP-D01", severity="error", path="src/x.py",
+            line=3, col=7, message="boom",
+        )
+        assert finding.render() == "src/x.py:3:7: REP-D01 error: boom"

@@ -1,0 +1,105 @@
+"""On-disk records must serialize with sorted keys (PR 9 satellite).
+
+Key order is the last piece of byte-stability: every record writer pins
+``sort_keys=True`` so identical payloads produce identical bytes across
+processes and Python versions — sharded runs can be merged and diffed
+byte-for-byte.  ``json.loads`` preserves document order, so asserting the
+parsed dicts iterate in sorted order pins the on-disk order exactly.
+(The REP-D07 lint rule guards new writers; these tests guard the shipped
+ones behaviorally.)
+"""
+
+import json
+from types import SimpleNamespace
+
+from repro.exec import ResultLog
+from repro.experiments.reporting import InstanceResult, write_jsonl
+
+
+def assert_sorted_keys(doc):
+    if isinstance(doc, dict):
+        assert list(doc.keys()) == sorted(doc.keys()), list(doc.keys())
+        for value in doc.values():
+            assert_sorted_keys(value)
+    elif isinstance(doc, list):
+        for item in doc:
+            assert_sorted_keys(item)
+
+
+def make_result():
+    return InstanceResult(
+        instance_name="inst",
+        num_nodes=4,
+        baseline_cost=10.0,
+        ilp_cost=5.0,
+        solver_status="optimal",
+        solve_time=0.25,
+        extra_costs={"zeta": 1.0, "alpha": 2.0},
+    )
+
+
+def jsonl_docs(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestJsonlWriters:
+    def test_reporting_write_jsonl(self, tmp_path):
+        target = tmp_path / "results.jsonl"
+        write_jsonl([make_result()], target)
+        docs = jsonl_docs(target)
+        assert len(docs) == 1
+        assert_sorted_keys(docs[0])
+
+    def test_result_log_records(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        job = SimpleNamespace(kind="pipeline", instance_name="inst")
+        with ResultLog(target) as log:
+            log.append("k1", job, make_result())
+        docs = jsonl_docs(target)
+        assert len(docs) == 1
+        assert_sorted_keys(docs[0])
+
+    def test_serve_request_telemetry(self, tmp_path):
+        from repro.serve.service import (
+            ArrivalConfig,
+            ScheduleService,
+            ServiceConfig,
+        )
+
+        config = ServiceConfig(
+            arrivals=ArrivalConfig(seed=3, requests=5, rate=8.0, limit=2)
+        )
+        report = ScheduleService(config).run()
+        target = tmp_path / "requests.jsonl"
+        report.write_requests_jsonl(target)
+        docs = jsonl_docs(target)
+        assert len(docs) == 5
+        for doc in docs:
+            assert_sorted_keys(doc)
+
+
+class TestJsonDocuments:
+    def test_dag_save_json(self, tmp_path):
+        from repro.dag import io as dag_io
+        from repro.dag.generators import spmv
+
+        target = tmp_path / "dag.json"
+        dag_io.save_json(spmv(n=4, seed=0), target)
+        assert_sorted_keys(json.loads(target.read_text()))
+
+    def test_schedule_save(self, tmp_path):
+        from repro.core.two_stage import baseline_schedule
+        from repro.dag.analysis import assign_random_memory_weights
+        from repro.dag.generators import spmv
+        from repro.model.instance import make_instance
+        from repro.model.serialization import save_schedule
+
+        dag = spmv(4, seed=1)
+        assign_random_memory_weights(dag, seed=7)
+        instance = make_instance(
+            dag, num_processors=2, cache_factor=3.0, g=1.0, L=10.0
+        )
+        schedule = baseline_schedule(instance, seed=0).mbsp_schedule
+        target = tmp_path / "schedule.json"
+        save_schedule(schedule, target)
+        assert_sorted_keys(json.loads(target.read_text()))
