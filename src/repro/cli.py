@@ -549,9 +549,34 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         **_backend_kwargs(args),
     )
     prune_gap = None if args.no_prune else args.prune_gap
-    portfolio = Portfolio(config=config, prune_gap=prune_gap)
+    # adaptive member selection (repro.learn): an unreadable or malformed
+    # history file warns and falls back to exhaustive evaluation (matching
+    # the REPRO_* env-knob convention); a missing --history likewise warns
+    # inside Portfolio — an adaptive request never crashes a sweep
+    history = None
+    if args.select == "adaptive" and args.history:
+        from repro.learn import LearnedHistory
+
+        try:
+            history = LearnedHistory.load(args.history)
+        except ConfigurationError as exc:
+            _warnings.warn(
+                f"ignoring unusable history file ({exc}); "
+                f"falling back to exhaustive evaluation",
+                UserWarning,
+            )
+    portfolio = Portfolio(
+        config=config,
+        prune_gap=prune_gap,
+        select=args.select,
+        top_k=args.top_k,
+        history=history,
+        selector=args.selector,
+    )
     rows = portfolio.run(members, dags, engine=engine)
-    print(format_portfolio_table(rows, reuse=portfolio.last_reuse))
+    print(format_portfolio_table(
+        rows, reuse=portfolio.last_reuse, selection=portfolio.last_selection
+    ))
     wins: dict = {}
     for row in rows:
         winner = row.best_member if row.has_winner else "(none applicable)"
@@ -565,6 +590,85 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         print(f"bound pruning: {pruned} ILP solve(s) skipped (gap {prune_gap:g})")
     print(f"ilp backend: {config.ilp_backend}")
     print(f"engine: {engine.stats.describe()}")
+    return 0
+
+
+def _learn_dataset(args):
+    from repro.experiments.datasets import small_dataset, tiny_dataset
+
+    return (tiny_dataset(scale=args.scale, limit=args.limit)
+            if args.which == "tiny"
+            else small_dataset(scale=args.scale, limit=args.limit))
+
+
+def _cmd_learn_mine(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import ExperimentConfig
+    from repro.learn import mine_history
+
+    config = ExperimentConfig(name="learn", num_processors=args.processors)
+    dags = _learn_dataset(args)
+    history, stats = mine_history(args.results, dags, config)
+    history.save(args.output)
+    print(f"mined: {stats.describe()}")
+    print(f"history: {len(history.instances)} instance(s), "
+          f"{history.num_observations} (instance, member) entr(ies), "
+          f"{len(history.bucket_table())} feature bucket(s)")
+    print(f"digest: {history.digest()}")
+    print(f"written to {args.output}")
+    return 0
+
+
+def _cmd_learn_select(args: argparse.Namespace) -> int:
+    import warnings as _warnings
+
+    from repro.exceptions import ConfigurationError
+    from repro.experiments.runner import ExperimentConfig
+    from repro.learn import LearnedHistory, plan_selection
+    from repro.portfolio import DEFAULT_MEMBERS
+
+    history = LearnedHistory.load(args.history)
+    members = [m.strip() for m in args.members.split(",") if m.strip()] \
+        if args.members else list(DEFAULT_MEMBERS)
+    members, canonical = _validate_members(members, _warnings)
+    if not members:
+        raise ConfigurationError(
+            "no valid portfolio members left after skipping unknown names; "
+            "see 'repro portfolio --list-members'"
+        )
+    config = ExperimentConfig(name="learn", num_processors=args.processors)
+    dags = _learn_dataset(args)
+    report = plan_selection(
+        history, dags, config, members, canonical,
+        top_k=args.top_k, selector=args.selector, seed=args.seed,
+    )
+    print(f"predicted top-{report.top_k} members per instance "
+          f"({args.selector} selector, history {history.digest()[:16]}):")
+    for selection in report.selections:
+        truth = ("true best {:g}".format(selection.true_best)
+                 if selection.true_best is not None else "no mined truth")
+        print(f"  {selection.instance:<20s} run {', '.join(selection.chosen)} "
+              f"| skip {', '.join(selection.skipped) or '(none)'} [{truth}]")
+    print(f"would run {report.jobs_run}/{report.jobs_total} member job(s); "
+          f"history predicts ~{report.predicted_calls_saved:g} solver "
+          f"call(s) saved")
+    return 0
+
+
+def _cmd_learn_report(args: argparse.Namespace) -> int:
+    from repro.learn import (
+        LearnedHistory,
+        distributions_to_json,
+        format_distribution_table,
+    )
+
+    history = LearnedHistory.load(args.history)
+    text = (distributions_to_json(history) if args.format == "json"
+            else format_distribution_table(history) + "\n")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -1391,6 +1495,72 @@ def build_parser() -> argparse.ArgumentParser:
     add_report_arguments(check)
     check.set_defaults(func=_cmd_check)
 
+    learn_parser = sub.add_parser(
+        "learn",
+        help="learned member selection: mine run history into per-feature "
+             "win/cost tables and predict which portfolio members to run "
+             "(repro.learn)",
+    )
+    learn_sub = learn_parser.add_subparsers(dest="action", required=True)
+
+    def add_learn_dataset_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--which", choices=["tiny", "small"], default="tiny")
+        p.add_argument("--scale", choices=["default", "paper"],
+                       default="default")
+        p.add_argument("--limit", type=int, default=None,
+                       help="only the first N instances of the dataset")
+        p.add_argument("--processors", "-p", type=int, default=4,
+                       help="processor count the features are computed for "
+                            "(must match the runs being mined/planned)")
+
+    learn_mine = learn_sub.add_parser(
+        "mine",
+        help="mine one or more JSONL results files (from runs with "
+             "--results) into a byte-stable learned history",
+    )
+    learn_mine.add_argument("--results", action="append", required=True,
+                            metavar="FILE",
+                            help="JSONL results file to mine (repeatable; "
+                                 "only records carrying a member spec "
+                                 "contribute)")
+    add_learn_dataset_arguments(learn_mine)
+    learn_mine.add_argument("--output", default="history.json", metavar="FILE",
+                            help="learned-history JSON to write "
+                                 "(default: history.json)")
+    learn_mine.set_defaults(func=_cmd_learn_mine)
+
+    learn_select = learn_sub.add_parser(
+        "select",
+        help="predict the top-k members per instance from a mined history "
+             "without executing anything",
+    )
+    learn_select.add_argument("--history", required=True, metavar="FILE",
+                              help="learned history from 'repro learn mine'")
+    learn_select.add_argument("--members", default=None,
+                              help="comma-separated member names/specs "
+                                   "(default: the portfolio defaults)")
+    add_learn_dataset_arguments(learn_select)
+    learn_select.add_argument("--top-k", type=int, default=3,
+                              help="members to keep per instance (default 3)")
+    learn_select.add_argument("--selector", choices=["greedy", "knn"],
+                              default="greedy",
+                              help="ranking model: per-bucket greedy table "
+                                   "or k-NN over feature vectors")
+    learn_select.add_argument("--seed", type=int, default=0,
+                              help="tie-breaking seed (identical ranking "
+                                   "for identical history regardless)")
+    learn_select.set_defaults(func=_cmd_learn_select)
+
+    learn_report = learn_sub.add_parser(
+        "report",
+        help="Figure-4-style per-member cost-distribution table from a "
+             "mined history",
+    )
+    learn_report.add_argument("--history", required=True, metavar="FILE",
+                              help="learned history from 'repro learn mine'")
+    add_report_arguments(learn_report)
+    learn_report.set_defaults(func=_cmd_learn_report)
+
     port = sub.add_parser("portfolio", help="run a scheduler portfolio over a dataset")
     port.add_argument("--members", default=None,
                       help="comma-separated member pipelines, e.g. "
@@ -1414,6 +1584,21 @@ def build_parser() -> argparse.ArgumentParser:
                            "which never changes the reported best costs)")
     port.add_argument("--no-prune", action="store_true",
                       help="disable bound-aware ILP pruning entirely")
+    port.add_argument("--select", choices=["exhaustive", "adaptive"],
+                      default="exhaustive",
+                      help="adaptive runs only the members a mined history "
+                           "predicts are worth it (repro.learn); exhaustive "
+                           "runs every member (default)")
+    port.add_argument("--top-k", type=int, default=3,
+                      help="members to run per instance under --select "
+                           "adaptive (default 3)")
+    port.add_argument("--history", default=None, metavar="FILE",
+                      help="learned history from 'repro learn mine'; "
+                           "adaptive without one warns and falls back to "
+                           "exhaustive evaluation")
+    port.add_argument("--selector", choices=["greedy", "knn"],
+                      default="greedy",
+                      help="adaptive ranking model (default greedy)")
     add_engine_arguments(port)
     add_refine_arguments(port)
     port.set_defaults(func=_cmd_portfolio)

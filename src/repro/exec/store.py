@@ -229,6 +229,13 @@ class ResultLog:
             "instance": job.instance_name,
             "result": result.to_dict(),
         }
+        # jobs carrying a canonical member spec (portfolio kind) record it,
+        # so the history miner (repro.learn.history) can attribute the cost
+        # to the spec without rebuilding the job; older files without the
+        # field simply mine to nothing
+        member = dict(getattr(job, "params", ()) or ()).get("member")
+        if member is not None:
+            record["member"] = str(member)
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
         self._streamed_keys.add(key)

@@ -131,40 +131,66 @@ def solve_with_scipy(model: IlpModel, options: Optional[SolverOptions] = None) -
             )
         else:
             warm_note = " (warm-start solution rejected: infeasible)"
+    cutoff_value = None
     if cutoffs:
         # objective cutoff: only solutions at least as good as the known
         # incumbent are feasible (compiled space is always a minimization)
         cutoff = min(cutoffs)
         tolerance = 1e-6 * max(1.0, abs(cutoff))
-        constraints.append(
-            optimize.LinearConstraint(
-                sparse.csr_matrix(compiled.c.reshape(1, -1)), -np.inf, cutoff + tolerance
+        cutoff_value = cutoff + tolerance
+
+    # fine-grained cancellation: with a CancelToken in scope, drive the
+    # scipy-vendored HiGHS binding directly so the MIP-interrupt callback
+    # can stop the solve at the next poll point instead of at the clamped
+    # time limit (a raced branch stops burning CPU once the race has a
+    # winner).  Same formulation, same HiGHS, same status mapping; any
+    # failure inside the private binding returns None and the plain
+    # optimize.milp path below takes over unchanged.
+    result = None
+    if token is not None:
+        from repro.ilp.highs_cancel import solve_with_highs_callback
+
+        result = solve_with_highs_callback(
+            compiled,
+            token,
+            cutoff=cutoff_value,
+            time_limit=effective_time_limit,
+            node_limit=options.node_limit,
+            mip_rel_gap=options.mip_rel_gap,
+            verbose=options.verbose,
+        )
+
+    if result is None:
+        if cutoff_value is not None:
+            constraints.append(
+                optimize.LinearConstraint(
+                    sparse.csr_matrix(compiled.c.reshape(1, -1)), -np.inf, cutoff_value
+                )
             )
-        )
-    constraints = constraints or None
-    bounds = optimize.Bounds(compiled.var_lb, compiled.var_ub)
+        constraints = constraints or None
+        bounds = optimize.Bounds(compiled.var_lb, compiled.var_ub)
 
-    milp_options = {
-        "disp": options.verbose,
-        "mip_rel_gap": options.mip_rel_gap,
-    }
-    if effective_time_limit is not None:
-        milp_options["time_limit"] = float(effective_time_limit)
-    if options.node_limit is not None:
-        milp_options["node_limit"] = int(options.node_limit)
+        milp_options = {
+            "disp": options.verbose,
+            "mip_rel_gap": options.mip_rel_gap,
+        }
+        if effective_time_limit is not None:
+            milp_options["time_limit"] = float(effective_time_limit)
+        if options.node_limit is not None:
+            milp_options["node_limit"] = int(options.node_limit)
 
-    try:
-        result = optimize.milp(
-            c=compiled.c,
-            constraints=constraints,
-            bounds=bounds,
-            integrality=compiled.integrality,
-            options=milp_options,
-        )
-    except (ValueError, TypeError, ArithmeticError) as exc:  # pragma: no cover - defensive
-        # scipy.optimize.milp rejects malformed inputs with ValueError /
-        # TypeError; ArithmeticError covers numerical blowups in HiGHS glue
-        raise SolverError(f"scipy.optimize.milp failed: {exc}") from exc
+        try:
+            result = optimize.milp(
+                c=compiled.c,
+                constraints=constraints,
+                bounds=bounds,
+                integrality=compiled.integrality,
+                options=milp_options,
+            )
+        except (ValueError, TypeError, ArithmeticError) as exc:  # pragma: no cover - defensive
+            # scipy.optimize.milp rejects malformed inputs with ValueError /
+            # TypeError; ArithmeticError covers numerical blowups in HiGHS glue
+            raise SolverError(f"scipy.optimize.milp failed: {exc}") from exc
 
     elapsed = time.perf_counter() - start
     sign = 1.0 if compiled.sense is Sense.MINIMIZE else -1.0

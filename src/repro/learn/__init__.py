@@ -1,0 +1,78 @@
+"""Learned member selection over mined run history (the adaptive portfolio).
+
+The learning subsystem of the reproduction: every portfolio/exec/serve run
+already streams per-member telemetry to JSONL results files; this package
+turns that logged history into *predictions* of which pipeline members are
+worth running on an unseen instance, so the portfolio stops paying for
+members it can predict will lose.
+
+* :mod:`repro.learn.features` — cheap deterministic instance features
+  (versioned schema, stable fingerprint, coarse feature buckets);
+* :mod:`repro.learn.history` — the miner: results JSONLs -> a byte-stable
+  per-(bucket, canonical-spec) win/cost table;
+* :mod:`repro.learn.model` — two dependency-free selectors (per-bucket
+  greedy bandit, k-NN over feature vectors), pure functions of
+  (history, instance, seed);
+* :mod:`repro.learn.select` — top-k selection plans plus the regret report
+  consumed by ``Portfolio(select="adaptive")``;
+* :mod:`repro.learn.report` — Figure-4-style per-member cost-distribution
+  reporting (``repro learn report``).
+
+Everything is deterministic and cache-key-safe: adaptive runs submit a
+strict subset of the exhaustive jobs (same parameters, same content
+hashes), and ``top_k >= len(members)`` reproduces the exhaustive run
+byte-identically.
+"""
+
+from repro.learn.features import (
+    FEATURE_NAMES,
+    SCHEMA_VERSION,
+    FeatureVector,
+    feature_bucket,
+    instance_features,
+)
+from repro.learn.history import (
+    HISTORY_SCHEMA_VERSION,
+    BucketStats,
+    InstanceHistory,
+    LearnedHistory,
+    MemberObservation,
+    MiningStats,
+    mine_history,
+)
+from repro.learn.model import SELECTORS, rank_greedy, rank_knn, rank_members
+from repro.learn.report import (
+    distributions_to_json,
+    format_distribution_table,
+    member_distributions,
+)
+from repro.learn.select import (
+    InstanceSelection,
+    SelectionReport,
+    plan_selection,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "HISTORY_SCHEMA_VERSION",
+    "SCHEMA_VERSION",
+    "SELECTORS",
+    "BucketStats",
+    "FeatureVector",
+    "InstanceHistory",
+    "InstanceSelection",
+    "LearnedHistory",
+    "MemberObservation",
+    "MiningStats",
+    "SelectionReport",
+    "distributions_to_json",
+    "feature_bucket",
+    "format_distribution_table",
+    "instance_features",
+    "member_distributions",
+    "mine_history",
+    "plan_selection",
+    "rank_greedy",
+    "rank_knn",
+    "rank_members",
+]

@@ -1,0 +1,164 @@
+"""Dependency-free selectors over a mined :class:`LearnedHistory`.
+
+Two models, both **pure functions of (history, instance features, seed)**:
+no global state, no randomness beyond the explicit seed (which only breaks
+otherwise-exact ties, see below), no wall clock.  Determinism is what makes
+learned selection *cache-key-safe*: the adaptive portfolio submits exactly
+the jobs the ranking picks, so two runs with the same history pick the same
+jobs and therefore share the same content-hash cache entries.
+
+* :func:`rank_greedy` — a per-bucket epsilon-free greedy bandit: within the
+  instance's feature bucket, specs are ordered by mean relative cost
+  (exploit), with mean solver calls as the tie-breaker (prefer the cheaper
+  spec on equal quality) and the canonical spec name as the final total
+  order.  Unseen specs rank after seen ones.  Falling back from an unseen
+  bucket to the global table is the only "exploration" — no epsilon, no
+  randomness.
+* :func:`rank_knn` — k-nearest-neighbour over the mined feature vectors:
+  the ``k`` closest instances (normalized Euclidean distance, ties broken
+  by instance name) vote with their relative costs.
+
+Both return a ranking of the *caller's* candidate list (best first); the
+portfolio keeps its own member order when materializing the chosen subset.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.learn.features import FeatureVector, feature_bucket
+from repro.learn.history import BucketStats, LearnedHistory
+
+#: Selector names accepted by :func:`rank_members`.
+SELECTORS = ("greedy", "knn")
+
+
+def _order(
+    candidates: Sequence[str],
+    keyed: Dict[str, Tuple[float, float]],
+    seed: int,
+) -> List[str]:
+    """Total order over candidates from (quality, cost) keys.
+
+    Candidates without a key (never observed) rank after all observed ones,
+    in their original order.  The seed only rotates the order of *exactly
+    tied* observed candidates, so any seed yields the same set for any
+    ``top_k`` cut — selection quality never depends on it.
+    """
+    observed = [c for c in candidates if c in keyed]
+    unobserved = [c for c in candidates if c not in keyed]
+    groups: Dict[Tuple[float, float], List[str]] = {}
+    for candidate in observed:
+        groups.setdefault(keyed[candidate], []).append(candidate)
+    ranked: List[str] = []
+    for key in sorted(groups):
+        group = sorted(groups[key])
+        pivot = seed % len(group)
+        ranked.extend(group[pivot:] + group[:pivot])
+    return ranked + unobserved
+
+
+def rank_greedy(
+    history: LearnedHistory,
+    features: FeatureVector,
+    candidates: Sequence[str],
+    seed: int = 0,
+) -> List[str]:
+    """Per-bucket greedy ranking of canonical ``candidates`` (best first)."""
+    table = history.bucket_table()
+    bucket = table.get(feature_bucket(features))
+    if not bucket:
+        # unseen bucket: fall back to the global aggregate over all buckets
+        bucket = {}
+        for key in sorted(table):
+            for spec in sorted(table[key]):
+                stats = table[key][spec]
+                merged = bucket.setdefault(spec, BucketStats())
+                merged.count += stats.count
+                merged.wins += stats.wins
+                merged.rel_cost_sum += stats.rel_cost_sum
+                merged.solver_calls_sum += stats.solver_calls_sum
+    keyed = {
+        spec: (
+            round(bucket[spec].mean_rel_cost, 9),
+            round(bucket[spec].mean_solver_calls, 9),
+        )
+        for spec in candidates
+        if spec in bucket
+    }
+    return _order(candidates, keyed, seed)
+
+
+def rank_knn(
+    history: LearnedHistory,
+    features: FeatureVector,
+    candidates: Sequence[str],
+    seed: int = 0,
+    k: int = 5,
+) -> List[str]:
+    """k-NN ranking: the nearest mined instances vote with relative costs."""
+    names = sorted(history.instances)
+    if not names:
+        return list(candidates)
+    # per-feature scale from the history (max magnitude; 1.0 when flat) so
+    # large-magnitude features (total_work) don't drown the small ones
+    width = len(features.values)
+    scales = [1.0] * width
+    for name in names:
+        vector = history.instances[name].features
+        for i in range(min(width, len(vector))):
+            scales[i] = max(scales[i], abs(vector[i]))
+    target = [value / scales[i] for i, value in enumerate(features.values)]
+    distances: List[Tuple[float, str]] = []
+    for name in names:
+        vector = history.instances[name].features
+        if len(vector) != width:
+            continue
+        gap = 0.0
+        for i in range(width):
+            diff = vector[i] / scales[i] - target[i]
+            gap += diff * diff
+        distances.append((round(math.sqrt(gap), 9), name))
+    distances.sort()  # ties resolved by instance name: deterministic
+    neighbours = distances[: max(1, int(k))]
+    votes: Dict[str, List[float]] = {}
+    calls: Dict[str, List[float]] = {}
+    for _, name in neighbours:
+        entry = history.instances[name]
+        best = entry.best_cost
+        if not math.isfinite(best):
+            continue
+        for spec in sorted(entry.members):
+            observation = entry.members[spec]
+            votes.setdefault(spec, []).append(
+                observation.cost / best if best > 0 else 1.0
+            )
+            calls.setdefault(spec, []).append(observation.solver_calls)
+    keyed = {
+        spec: (
+            round(sum(votes[spec]) / len(votes[spec]), 9),
+            round(sum(calls[spec]) / len(calls[spec]), 9),
+        )
+        for spec in candidates
+        if spec in votes
+    }
+    return _order(candidates, keyed, seed)
+
+
+def rank_members(
+    history: LearnedHistory,
+    features: FeatureVector,
+    candidates: Sequence[str],
+    selector: str = "greedy",
+    seed: int = 0,
+) -> List[str]:
+    """Rank canonical ``candidates`` for an instance (best first)."""
+    if selector == "greedy":
+        return rank_greedy(history, features, candidates, seed=seed)
+    if selector == "knn":
+        return rank_knn(history, features, candidates, seed=seed)
+    raise ConfigurationError(
+        f"unknown selector {selector!r}; available: {SELECTORS}"
+    )

@@ -1,0 +1,108 @@
+"""Figure-4-style per-member cost-distribution reporting from a history.
+
+The paper's Figure 4 characterizes each configuration by the *distribution*
+of its cost ratios over the benchmark set, not by a single mean.  The mined
+:class:`~repro.learn.history.LearnedHistory` holds exactly the data needed
+to reproduce that view for portfolio members: per instance, every spec's
+cost relative to the instance's true best.  ``repro learn report`` renders
+the distribution (min / p25 / median / p75 / max, nearest-rank) plus win
+counts and mean solver calls per canonical spec.
+
+Everything is a pure function of the history: the JSON form is byte-stable
+(sorted keys, rounded floats) and the text table derives from it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+from repro.learn.history import LearnedHistory
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (deterministic)."""
+    if not sorted_values:
+        return 0.0
+    rank = int(q * len(sorted_values) + 99) // 100  # ceil(q * n / 100)
+    rank = min(len(sorted_values), max(1, rank))
+    return sorted_values[rank - 1]
+
+
+def member_distributions(history: LearnedHistory) -> Dict[str, Dict[str, float]]:
+    """Per-spec distribution of relative costs across mined instances.
+
+    Relative cost is ``cost / true best`` within each instance (1.0 = the
+    spec achieved the instance's best mined cost); ``wins`` counts exact
+    ties with the best.  Specs are keyed canonically and sorted, floats are
+    rounded to 9 decimals: the dict renders byte-stably.
+    """
+    ratios: Dict[str, List[float]] = {}
+    wins: Dict[str, int] = {}
+    calls: Dict[str, List[float]] = {}
+    for name in sorted(history.instances):
+        entry = history.instances[name]
+        best = entry.best_cost
+        if not math.isfinite(best):
+            continue
+        for spec in sorted(entry.members):
+            observation = entry.members[spec]
+            ratios.setdefault(spec, []).append(
+                observation.cost / best if best > 0 else 1.0
+            )
+            wins[spec] = wins.get(spec, 0) + (
+                1 if observation.cost == best else 0
+            )
+            calls.setdefault(spec, []).append(observation.solver_calls)
+    out: Dict[str, Dict[str, float]] = {}
+    for spec in sorted(ratios):
+        values = sorted(ratios[spec])
+        out[spec] = {
+            "instances": float(len(values)),
+            "wins": float(wins[spec]),
+            "rel_cost_min": round(values[0], 9),
+            "rel_cost_p25": round(_percentile(values, 25), 9),
+            "rel_cost_median": round(_percentile(values, 50), 9),
+            "rel_cost_p75": round(_percentile(values, 75), 9),
+            "rel_cost_max": round(values[-1], 9),
+            "mean_solver_calls": round(
+                sum(calls[spec]) / len(calls[spec]), 9
+            ),
+        }
+    return out
+
+
+def distributions_to_json(history: LearnedHistory) -> str:
+    """Byte-stable JSON rendering of :func:`member_distributions`."""
+    payload = {
+        "history_digest": history.digest(),
+        "instances": len(history.instances),
+        "members": member_distributions(history),
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def format_distribution_table(history: LearnedHistory) -> str:
+    """Fixed-width text table of the per-member cost distributions."""
+    distributions = member_distributions(history)
+    header = (
+        f"{'member (canonical spec)':<44s} {'inst':>4s} {'wins':>4s} "
+        f"{'min':>7s} {'p25':>7s} {'med':>7s} {'p75':>7s} {'max':>7s} "
+        f"{'calls':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for spec, row in distributions.items():
+        lines.append(
+            f"{spec:<44s} {int(row['instances']):>4d} {int(row['wins']):>4d} "
+            f"{row['rel_cost_min']:>7.3f} {row['rel_cost_p25']:>7.3f} "
+            f"{row['rel_cost_median']:>7.3f} {row['rel_cost_p75']:>7.3f} "
+            f"{row['rel_cost_max']:>7.3f} {row['mean_solver_calls']:>7.1f}"
+        )
+    if not distributions:
+        lines.append("(empty history: no member observations mined)")
+    lines.append(
+        f"relative member cost over {len(history.instances)} mined "
+        f"instance(s); 1.000 = the instance's best mined cost"
+    )
+    return "\n".join(lines)

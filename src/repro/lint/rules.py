@@ -310,6 +310,54 @@ class UnsortedDumpsRule(Rule):
 
 
 @register_rule
+class SetSumRule(Rule):
+    """``sum(...)``/``math.fsum(...)`` over a set expression (directly or
+    through a comprehension) accumulates floats in PYTHONHASHSEED-dependent
+    order; float addition is not associative, so the total itself can
+    differ between runs — sort the elements first."""
+
+    id = "REP-D08"
+    severity = "warning"
+    description = "sum()/math.fsum() over a set expression: float order hazard"
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        return (
+            isinstance(node, (ast.Set, ast.SetComp))
+            or _is_call_to(node, "set", "frozenset")
+        )
+
+    @classmethod
+    def _set_source(cls, node: ast.AST) -> Optional[ast.AST]:
+        """The set expression the summation would iterate, if any."""
+        if cls._is_set_expr(node):
+            return node
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            for gen in node.generators:
+                if cls._is_set_expr(gen.iter):
+                    return gen.iter
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in _calls_in(ctx.tree):
+            name = _dotted_name(call.func)
+            if name not in ("sum", "fsum", "math.fsum"):
+                continue
+            if not call.args:
+                continue
+            source = self._set_source(call.args[0])
+            if source is not None:
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"{name}() accumulates over a set expression: float "
+                    "addition is order-dependent and set order is "
+                    "hash-salted, so the total can change between runs; "
+                    "sum(sorted(...)) pins the order",
+                )
+
+
+@register_rule
 class BlockingInAsyncRule(Rule):
     """Blocking calls lexically inside ``async def`` stall the event loop
     (the Session core multiplexes all jobs on one loop)."""

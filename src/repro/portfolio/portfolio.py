@@ -48,8 +48,9 @@ Three mechanisms make the expensive members cheaper or avoidable:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.dag.graph import ComputationalDag
 from repro.exceptions import ConfigurationError
@@ -63,6 +64,10 @@ from repro.portfolio.members import (
     is_prunable_member,
     resolve_member,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.learn.history import LearnedHistory
+    from repro.learn.select import SelectionReport
 
 
 @dataclass
@@ -112,6 +117,11 @@ class Portfolio:
         results_path=None,
         resume: bool = False,
         prune_gap: Optional[float] = 0.0,
+        select: str = "exhaustive",
+        top_k: Optional[int] = None,
+        history: Optional[Union["LearnedHistory", str]] = None,
+        selector: str = "greedy",
+        seed: int = 0,
     ) -> None:
         self.config = config or ExperimentConfig(name="portfolio")
         self.workers = workers
@@ -122,8 +132,25 @@ class Portfolio:
         # skips only provably optimal baselines (cost-neutral by construction),
         # None disables pruning
         self.prune_gap = prune_gap
+        # adaptive member selection (repro.learn): "adaptive" runs only the
+        # predicted top_k members per instance, ranked by the selector over
+        # the mined history; "exhaustive" (the default) runs everything and
+        # remains the ground truth the history is mined from
+        if select not in ("exhaustive", "adaptive"):
+            raise ConfigurationError(
+                f"unknown selection mode {select!r}; "
+                f"expected 'exhaustive' or 'adaptive'"
+            )
+        self.select = select
+        self.top_k = top_k
+        self.history = history
+        self.selector = selector
+        self.seed = seed
         #: shared-prefix reuse statistics of the most recent :meth:`run`
         self.last_reuse: Optional[StageReuseStats] = None
+        #: adaptive-selection report of the most recent :meth:`run`
+        #: (``None`` after an exhaustive run)
+        self.last_selection: Optional["SelectionReport"] = None
 
     def run(
         self,
@@ -160,15 +187,27 @@ class Portfolio:
                 resume=self.resume,
             )
         dags = list(dags)
+
+        def make_job(dag, member):
+            # only members with prunable stages (ilp/refine) understand the
+            # prune_gap parameter; keeping it off the other jobs keeps
+            # their cache keys stable
+            return ExperimentJob.make(
+                "portfolio", dag, self.config, member=canonical[member], **(
+                    {"prune_gap": self.prune_gap}
+                    if self.prune_gap is not None and prunable[member]
+                    else {}
+                )
+            )
+
+        selection = self._plan_selection(members, canonical, dags)
+        self.last_selection = selection
+        if selection is not None:
+            return self._run_adaptive(
+                selection, members, dags, session, make_job
+            )
         plan = RunPlan.from_jobs([
-            ExperimentJob.make("portfolio", dag, self.config, member=canonical[member], **(
-                # only members with prunable stages (ilp/refine) understand
-                # the parameter; keeping it off the other jobs keeps their
-                # cache keys stable
-                {"prune_gap": self.prune_gap}
-                if self.prune_gap is not None and prunable[member]
-                else {}
-            ))
+            make_job(dag, member)
             for dag in dags
             for member in members
         ])
@@ -179,6 +218,86 @@ class Portfolio:
             flat = session.run(plan)
         self.last_reuse = reuse.stats
         return reduce_to_portfolio_rows(members, dags, flat)
+
+    # ------------------------------------------------------------------
+    # adaptive selection (repro.learn)
+    # ------------------------------------------------------------------
+    def _plan_selection(self, members, canonical, dags):
+        """The adaptive selection plan, or ``None`` for exhaustive mode.
+
+        A missing history warns and falls back to exhaustive evaluation
+        (the warn-and-fall-back convention of the ``REPRO_*`` knobs) — an
+        adaptive request must never crash a sweep just because no history
+        was mined yet.
+        """
+        if self.select != "adaptive":
+            return None
+        history = self.history
+        if history is None:
+            warnings.warn(
+                "adaptive selection requested without a mined history; "
+                "falling back to exhaustive evaluation (mine one with "
+                "'repro learn mine' and pass history=...)",
+                UserWarning,
+                stacklevel=3,
+            )
+            return None
+        if isinstance(history, (str, bytes)) or hasattr(history, "__fspath__"):
+            from repro.learn.history import LearnedHistory
+
+            history = LearnedHistory.load(history)
+        from repro.learn.select import plan_selection
+
+        return plan_selection(
+            history,
+            dags,
+            self.config,
+            members,
+            canonical,
+            top_k=self.top_k,
+            selector=self.selector,
+            seed=self.seed,
+        )
+
+    def _run_adaptive(self, selection, members, dags, session, make_job):
+        """Run only the chosen members per instance; reduce the ragged batch.
+
+        The chosen subsets preserve the member order and the job parameters
+        of the exhaustive plan, so every submitted job is content-hash
+        identical to its exhaustive counterpart (shared cache entries), and
+        ``top_k >= len(members)`` degenerates to the exhaustive plan.
+        Members skipped by selection contribute neither a cost nor a status
+        to the row (they render as ``-`` in the table); the per-instance
+        decisions live in :attr:`last_selection`.
+        """
+        jobs = []
+        index: Dict[tuple, int] = {}
+        for i, dag in enumerate(dags):
+            for member in selection.selections[i].chosen:
+                index[(i, member)] = len(jobs)
+                jobs.append(make_job(dag, member))
+        with stage_reuse_scope() as reuse:
+            flat = session.run(RunPlan.from_jobs(jobs))
+        self.last_reuse = reuse.stats
+        out: List[PortfolioResult] = []
+        for i, dag in enumerate(dags):
+            row = PortfolioResult(
+                instance_name=dag.name, num_nodes=dag.num_nodes
+            )
+            for member in members:
+                slot = index.get((i, member))
+                if slot is None:
+                    continue  # skipped by selection
+                result = flat[slot]
+                cost = result.extra_costs.get("member_cost", result.ilp_cost)
+                row.member_costs[member] = cost
+                row.member_status[member] = result.solver_status
+                if cost < row.best_cost:  # strict: first member wins ties
+                    row.best_cost = cost
+                    row.best_member = member
+            out.append(row)
+        selection.finalize(out)
+        return out
 
 
 def reduce_to_portfolio_rows(
@@ -211,13 +330,16 @@ def reduce_to_portfolio_rows(
 def format_portfolio_table(
     results: Sequence[PortfolioResult],
     reuse: Optional[StageReuseStats] = None,
+    selection: Optional["SelectionReport"] = None,
 ) -> str:
     """Fixed-width text rendering of a portfolio run (one row per instance).
 
     Costs of members whose ILP solve was skipped by bound-aware pruning are
     marked with ``*`` and summarised in a footer line; pass the run's
     :class:`~repro.pipeline.StageReuseStats` (``Portfolio.last_reuse``) to
-    also report the solver calls saved by shared-prefix reuse.
+    also report the solver calls saved by shared-prefix reuse.  After an
+    adaptive run, pass ``Portfolio.last_selection`` to append the
+    selection/regret footer (members skipped by selection render as ``-``).
     """
     members: List[str] = []
     for row in results:
@@ -251,4 +373,6 @@ def format_portfolio_table(
         )
     if reuse is not None and reuse.stages_reused:
         lines.append(f"= shared-prefix reuse: {reuse.describe()}")
+    if selection is not None:
+        lines.extend(selection.footer_lines())
     return "\n".join(lines)

@@ -16,7 +16,7 @@ real execution is the session's plan-order-deterministic batch.
 
 from repro.serve.arrivals import ArrivalConfig, ServeRequest, generate_requests, request_pool
 from repro.serve.bench import run_serve_bench
-from repro.serve.policy import AdaptivePolicy, PolicyConfig
+from repro.serve.policy import AdaptivePolicy, LearnedPolicy, PolicyConfig
 from repro.serve.service import (
     RequestRecord,
     ScheduleService,
@@ -28,6 +28,7 @@ from repro.serve.service import (
 __all__ = [
     "AdaptivePolicy",
     "ArrivalConfig",
+    "LearnedPolicy",
     "PolicyConfig",
     "RequestRecord",
     "ScheduleService",

@@ -24,9 +24,13 @@ same instance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
 
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.learn.features import FeatureVector
+    from repro.learn.history import LearnedHistory
 
 
 @dataclass(frozen=True)
@@ -92,3 +96,85 @@ class AdaptivePolicy:
         if queue_depth <= cfg.idle_depth:
             return self.rich
         return self.steady
+
+
+class LearnedPolicy:
+    """Feature-aware tier chooser backed by a mined history (repro.learn).
+
+    A drop-in for :class:`AdaptivePolicy` — same tiers, same thresholds,
+    same ``choose`` — plus the duck-typed ``choose_for(features, ...)``
+    hook the service consults when the policy carries one.  Pressure still
+    always gets the cheap tier (latency bounds beat learned preferences);
+    outside pressure the mined history ranks the steady and rich tier
+    specs for the instance's features and promotes whichever it predicts
+    wins.  On instances the history has never seen, the load-threshold
+    tier is kept, so an empty history reproduces ``AdaptivePolicy``
+    exactly.
+
+    The chooser stays a pure function of ``(history, features, load)`` —
+    no wall clock, no randomness — so the bit-identical-replay guarantee
+    of :mod:`repro.serve` is preserved: same trace + same history file =>
+    same spec for every request, regardless of worker count or machine.
+    """
+
+    def __init__(
+        self,
+        history: "LearnedHistory",
+        config: PolicyConfig = PolicyConfig(),
+        selector: str = "greedy",
+        seed: int = 0,
+    ) -> None:
+        from repro.learn.model import SELECTORS
+
+        if selector not in SELECTORS:
+            raise ConfigurationError(
+                f"unknown selector {selector!r} (choose from "
+                f"{', '.join(SELECTORS)})"
+            )
+        self._base = AdaptivePolicy(config)
+        self.config = self._base.config
+        self.history = history
+        self.selector = selector
+        self.seed = seed
+        self.cheap = self._base.cheap
+        self.steady = self._base.steady
+        self.rich = self._base.rich
+
+    @property
+    def specs(self) -> Tuple[str, str, str]:
+        """The canonical ``(cheap, steady, rich)`` tier specs."""
+        return self._base.specs
+
+    def choose(self, queue_depth: int, slack: float) -> str:
+        """Feature-free fallback: the plain load-threshold tier."""
+        return self._base.choose(queue_depth, slack)
+
+    def choose_for(
+        self, features: "FeatureVector", queue_depth: int, slack: float
+    ) -> str:
+        """The canonical spec for a request, given the instance features.
+
+        Candidate order encodes the fallback: the load-threshold tier goes
+        first, and the ranking keeps unobserved specs in candidate order,
+        so the history only *overrides* the threshold tier when it has
+        actually observed the candidates.
+        """
+        from repro.learn.model import rank_members
+
+        cfg = self.config
+        if queue_depth >= cfg.pressure_depth or slack <= cfg.tight_slack:
+            return self.cheap
+        default_first = (
+            (self.rich, self.steady)
+            if queue_depth <= cfg.idle_depth
+            else (self.steady, self.rich)
+        )
+        candidates = list(dict.fromkeys(default_first))
+        ranking = rank_members(
+            self.history,
+            features,
+            candidates,
+            selector=self.selector,
+            seed=self.seed,
+        )
+        return ranking[0]

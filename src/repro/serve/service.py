@@ -219,12 +219,20 @@ class ScheduleService:
     """Runs one arrival trace through the two-phase service loop."""
 
     def __init__(
-        self, config: Optional[ServiceConfig] = None, session: Optional[Session] = None
+        self,
+        config: Optional[ServiceConfig] = None,
+        session: Optional[Session] = None,
+        policy=None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.config.validate()
         self.session = session if session is not None else Session()
-        self.policy = AdaptivePolicy(self.config.policy)
+        # any object with choose(queue_depth, slack) works; a policy that
+        # additionally offers choose_for(features, queue_depth, slack) —
+        # e.g. repro.serve.policy.LearnedPolicy — is consulted with the
+        # instance features instead (see _simulate)
+        self.policy = policy if policy is not None \
+            else AdaptivePolicy(self.config.policy)
 
     # ------------------------------------------------------------------
     def run(self) -> ServiceReport:
@@ -280,6 +288,14 @@ class ScheduleService:
         from repro.experiments.parallel import ExperimentJob
 
         cfg = self.config
+        # feature-aware policies (duck-typed choose_for, e.g. LearnedPolicy)
+        # see the instance features of the request's template; features are
+        # deterministic per (dag, config), so one computation per template
+        # keeps the timeline pure and the loop cheap
+        chooser = getattr(self.policy, "choose_for", None)
+        feature_memo: Dict[int, object] = {}
+        if chooser is not None:
+            from repro.learn.features import instance_features
         free = [0.0] * cfg.servers
         heapq.heapify(free)
         in_system: List[float] = []
@@ -291,7 +307,16 @@ class ScheduleService:
             while in_system and in_system[0] <= request.arrival:
                 heapq.heappop(in_system)
             depth = len(in_system)
-            spec = self.policy.choose(depth, request.deadline)
+            if chooser is not None:
+                if request.template not in feature_memo:
+                    feature_memo[request.template] = instance_features(
+                        pool[request.template], cfg.experiment
+                    )
+                spec = chooser(
+                    feature_memo[request.template], depth, request.deadline
+                )
+            else:
+                spec = self.policy.choose(depth, request.deadline)
             memo_key = (request.template, spec)
             if memo_key not in job_memo:
                 job = ExperimentJob.make(

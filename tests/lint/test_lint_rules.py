@@ -226,6 +226,50 @@ class TestUnsortedDumps:  # REP-D07
         assert findings == []
 
 
+class TestSetSum:  # REP-D08
+    def test_flags_sum_over_set_call(self, tmp_path):
+        findings = run_rule(
+            tmp_path, "REP-D08",
+            "total = sum(set(values))\n",
+        )
+        assert [f.rule for f in findings] == ["REP-D08"]
+
+    def test_flags_sum_over_set_literal(self, tmp_path):
+        findings = run_rule(
+            tmp_path, "REP-D08",
+            "total = sum({a, b, c})\n",
+        )
+        assert len(findings) == 1
+
+    def test_flags_generator_sourced_from_set(self, tmp_path):
+        findings = run_rule(
+            tmp_path, "REP-D08",
+            "total = sum(w[k] for k in set(keys))\n",
+        )
+        assert len(findings) == 1
+
+    def test_flags_math_fsum_over_set_comp(self, tmp_path):
+        findings = run_rule(
+            tmp_path, "REP-D08",
+            "total = math.fsum({x * 2 for x in xs})\n",
+        )
+        assert len(findings) == 1
+
+    def test_sorted_set_ok(self, tmp_path):
+        findings = run_rule(
+            tmp_path, "REP-D08",
+            "total = sum(sorted(set(values)))\n",
+        )
+        assert findings == []
+
+    def test_sum_over_list_ok(self, tmp_path):
+        findings = run_rule(
+            tmp_path, "REP-D08",
+            "total = sum(values)\nother = sum(x for x in rows)\n",
+        )
+        assert findings == []
+
+
 class TestBlockingInAsync:  # REP-C01
     def test_flags_sleep_in_async_def(self, tmp_path):
         findings = run_rule(

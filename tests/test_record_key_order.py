@@ -59,6 +59,21 @@ class TestJsonlWriters:
         assert len(docs) == 1
         assert_sorted_keys(docs[0])
 
+    def test_result_log_records_member_spec(self, tmp_path):
+        # the learned-history miner keys on this field: a portfolio job's
+        # canonical member spec must survive into the on-disk record
+        target = tmp_path / "log.jsonl"
+        job = SimpleNamespace(
+            kind="portfolio",
+            instance_name="inst",
+            params=(("member", "bspg+clairvoyant"),),
+        )
+        with ResultLog(target) as log:
+            log.append("k1", job, make_result())
+        docs = jsonl_docs(target)
+        assert docs[0]["member"] == "bspg+clairvoyant"
+        assert_sorted_keys(docs[0])
+
     def test_serve_request_telemetry(self, tmp_path):
         from repro.serve.service import (
             ArrivalConfig,
